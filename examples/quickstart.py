@@ -1,0 +1,70 @@
+"""Quickstart: collusion-robust mean estimation with DAP.
+
+A data collector wants the mean of a sensitive numerical attribute (here the
+Taxi pick-up time) under Local Differential Privacy, but 25 % of the reports
+come from colluding Byzantine users who push poison values towards the top of
+the perturbation output domain.  This script compares the undefended
+estimator (Ostrich), robust-statistics trimming, and the three DAP variants.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DAPConfig, DAPProtocol
+from repro.attacks import BiasedByzantineAttack, PAPER_POISON_RANGES
+from repro.datasets import taxi_dataset
+from repro.defenses import OstrichDefense, TrimmingDefense
+from repro.ldp import PiecewiseMechanism
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # --- the population ------------------------------------------------------
+    n_normal, n_byzantine = 30_000, 10_000          # 25 % Byzantine users
+    epsilon = 1.0
+    dataset = taxi_dataset(n_samples=n_normal, rng=rng)
+    print(f"dataset: {dataset.name}, true mean of normal users = {dataset.true_mean:+.4f}")
+
+    # --- the attack -----------------------------------------------------------
+    # colluding attackers inject values uniformly on the top half of the
+    # perturbation output domain [C/2, C] (they know the protocol and epsilon)
+    attack = BiasedByzantineAttack(PAPER_POISON_RANGES["[C/2,C]"])
+
+    # --- undefended and trimmed baselines -------------------------------------
+    mechanism = PiecewiseMechanism(epsilon)
+    reports = np.concatenate(
+        [
+            mechanism.perturb(dataset.values, rng),
+            attack.poison_reports(n_byzantine, mechanism, 0.0, rng).reports,
+        ]
+    )
+    ostrich = OstrichDefense()(reports, mechanism, rng)
+    trimmed = TrimmingDefense(0.5)(reports, mechanism, rng)
+    print(f"Ostrich  (no defence)      : {ostrich:+.4f}")
+    print(f"Trimming (drop largest 50%) : {trimmed:+.4f}")
+
+    # --- DAP -------------------------------------------------------------------
+    for estimator in ("emf", "emf_star", "cemf_star"):
+        config = DAPConfig(epsilon=epsilon, epsilon_min=1 / 16, estimator=estimator)
+        result = DAPProtocol(config).run(dataset.values, attack, n_byzantine, rng=rng)
+        label = {"emf": "DAP-EMF ", "emf_star": "DAP-EMF*", "cemf_star": "DAP-CEMF*"}[estimator]
+        print(
+            f"{label:<27}: {result.estimate:+.4f}   "
+            f"(probed side={result.poisoned_side}, gamma_hat={result.gamma_hat:.3f})"
+        )
+
+    print(
+        "\nThe DAP variants recover the normal users' mean to within a few "
+        "hundredths while the undefended estimate is pushed all the way to the "
+        "domain boundary."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Scenario: product-rating fraud on a privacy-preserving review platform.
+
+The paper's introduction motivates the threat model with review fraud:
+businesses hire workers to post fake 5-star ratings while the platform
+collects ratings under LDP.  This example simulates that setting:
+
+* honest customers rate a product between 1 and 5 stars (skewed towards 3-4),
+  normalise the rating into [-1, 1] and perturb it with the Piecewise
+  Mechanism;
+* a fraud ring controlling a fraction of accounts submits poison values that
+  masquerade as maximal ratings in the *perturbed* domain (a far stronger
+  attack than honestly submitting 5 stars);
+* the platform estimates the product's mean rating with and without DAP, and
+  also measures what the fraud ring would have achieved with the weaker
+  input-manipulation strategy.
+
+Run with::
+
+    python examples/rating_fraud_defense.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DAPConfig, DAPProtocol
+from repro.attacks import BiasedByzantineAttack, InputManipulationAttack, PoisonRange
+from repro.datasets.base import NumericalDataset, normalize_to_unit
+from repro.defenses import OstrichDefense
+from repro.ldp import PiecewiseMechanism
+
+
+def build_rating_dataset(n_customers: int, rng: np.random.Generator) -> NumericalDataset:
+    """Honest star ratings in {1..5}, skewed towards 3-4 stars."""
+    stars = rng.choice([1, 2, 3, 4, 5], size=n_customers, p=[0.05, 0.10, 0.30, 0.35, 0.20])
+    return NumericalDataset(
+        name="ProductRatings",
+        values=normalize_to_unit(stars.astype(float), 1.0, 5.0),
+        raw_domain=(1.0, 5.0),
+        description="Synthetic honest star ratings for one product.",
+    )
+
+
+def to_stars(normalised_mean: float) -> float:
+    """Map a normalised mean back to the 1-5 star scale."""
+    return (normalised_mean + 1.0) / 2.0 * 4.0 + 1.0
+
+
+def main() -> None:
+    rng = np.random.default_rng(2024)
+    epsilon = 1.0
+    n_customers, n_fraud = 24_000, 8_000  # 25 % of accounts are fraud bots
+
+    dataset = build_rating_dataset(n_customers, rng)
+    print(f"honest mean rating: {to_stars(dataset.true_mean):.2f} stars")
+
+    mechanism = PiecewiseMechanism(epsilon)
+    ostrich = OstrichDefense()
+
+    scenarios = {
+        "output-manipulation fraud (poison at top of perturbed domain)":
+            BiasedByzantineAttack(PoisonRange.of_c(0.75, 1.0)),
+        "input-manipulation fraud (honestly perturbed 5-star ratings)":
+            InputManipulationAttack(poison_input=1.0),
+    }
+
+    for label, attack in scenarios.items():
+        print(f"\n=== {label} ===")
+        reports = np.concatenate(
+            [
+                mechanism.perturb(dataset.values, rng),
+                attack.poison_reports(n_fraud, mechanism, 0.0, rng).reports,
+            ]
+        )
+        undefended = ostrich(reports, mechanism, rng)
+        print(f"  undefended estimate : {to_stars(undefended):.2f} stars")
+
+        config = DAPConfig(epsilon=epsilon, epsilon_min=1 / 16, estimator="cemf_star")
+        result = DAPProtocol(config).run(dataset.values, attack, n_fraud, rng=rng)
+        print(
+            f"  DAP-CEMF* estimate  : {to_stars(result.estimate):.2f} stars "
+            f"(gamma_hat={result.gamma_hat:.3f}, side={result.poisoned_side})"
+        )
+
+    print(
+        "\nAgainst output manipulation the undefended rating jumps to the "
+        "maximum while DAP stays near the honest value; input manipulation is "
+        "intrinsically weaker (bounded by the legal rating range) and barely "
+        "moves either estimator."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The pyproject.toml carries all metadata; this stub exists so that editable
+installs work in fully offline environments where pip cannot fetch an isolated
+build backend (``pip install -e . --no-build-isolation`` or legacy mode).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""repro — reproduction of "Differential Aggregation against General Colluding
+Attackers" (ICDE 2023).
+
+The package implements collusion-robust mean and frequency estimation under
+Local Differential Privacy:
+
+* :mod:`repro.ldp` — LDP perturbation mechanisms (Piecewise, Square Wave,
+  Duchi, Hybrid, Laplace, k-RR, OUE, OLH) and budget accounting;
+* :mod:`repro.attacks` — the General / Biased Byzantine threat models, input
+  manipulation and evasion attacks;
+* :mod:`repro.defenses` — the baselines DAP is compared against (Ostrich,
+  Trimming, k-means defence, boxplot, isolation forest);
+* :mod:`repro.core` — the paper's contribution: the EMF family of
+  reconstruction filters, Byzantine feature probing and the multi-group
+  Differential Aggregation Protocol;
+* :mod:`repro.datasets` — the evaluation datasets (synthetic Beta draws and
+  offline substitutes for Taxi, Retirement and COVID-19);
+* :mod:`repro.simulation` / :mod:`repro.experiments` — the experiment harness
+  regenerating every table and figure of the paper.
+
+Quickstart::
+
+    import numpy as np
+    from repro import DAPConfig, DAPProtocol
+    from repro.attacks import BiasedByzantineAttack, PAPER_POISON_RANGES
+    from repro.datasets import taxi_dataset
+
+    data = taxi_dataset(n_samples=20_000, rng=0)
+    attack = BiasedByzantineAttack(PAPER_POISON_RANGES["[C/2,C]"])
+    protocol = DAPProtocol(DAPConfig(epsilon=1.0))
+    result = protocol.run(data.values, attack, n_byzantine=5_000, rng=1)
+    print(result.estimate, data.true_mean)
+"""
+
+from repro.core import (
+    BaselineProtocol,
+    DAPConfig,
+    DAPProtocol,
+    DAPResult,
+    FrequencyDAP,
+    run_emf,
+    run_emf_star,
+    run_cemf_star,
+    estimate_byzantine_features,
+)
+from repro.ldp import PiecewiseMechanism, SquareWaveMechanism, KRandomizedResponse
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BaselineProtocol",
+    "DAPConfig",
+    "DAPProtocol",
+    "DAPResult",
+    "FrequencyDAP",
+    "run_emf",
+    "run_emf_star",
+    "run_cemf_star",
+    "estimate_byzantine_features",
+    "PiecewiseMechanism",
+    "SquareWaveMechanism",
+    "KRandomizedResponse",
+    "__version__",
+]

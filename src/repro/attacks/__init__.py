@@ -1,0 +1,54 @@
+"""Threat models: Byzantine attacks against LDP aggregation.
+
+Implements the paper's threat model hierarchy:
+
+* :class:`~repro.attacks.gba.GeneralByzantineAttack` — Definition 2: colluding
+  attackers submit *arbitrary* values in the perturbation output domain.
+* :class:`~repro.attacks.bba.BiasedByzantineAttack` — Definition 4: all poison
+  values sit on one side of the true mean, drawn from a configurable
+  distribution over a configurable sub-range (the paper's ``Poi[r_l, r_r]``).
+* :class:`~repro.attacks.input_manipulation.InputManipulationAttack` — the IMA
+  of Cheu et al. / Li et al.: attackers pick an input poison value ``g`` and
+  then follow the LDP protocol honestly, which is weaker but harder to detect.
+* :class:`~repro.attacks.evasion.EvasionAttack` — Section V-D robustness
+  analysis: a fraction ``a`` of poison values is placed on the opposite side to
+  fool the poisoned-side probing.
+* :func:`~repro.attacks.reduction.reduce_gba_to_bba` — the constructive
+  reduction of Theorem 1.
+"""
+
+from repro.attacks.base import Attack, AttackReport, NoAttack
+from repro.attacks.distributions import (
+    PoisonDistribution,
+    UniformPoison,
+    GaussianPoison,
+    BetaPoison,
+    PointMassPoison,
+    PoisonRange,
+    PAPER_POISON_RANGES,
+)
+from repro.attacks.gba import GeneralByzantineAttack
+from repro.attacks.bba import BiasedByzantineAttack
+from repro.attacks.input_manipulation import InputManipulationAttack
+from repro.attacks.evasion import EvasionAttack
+from repro.attacks.reduction import reduce_gba_to_bba, equivalent_bba_reports, total_deviation
+
+__all__ = [
+    "Attack",
+    "AttackReport",
+    "NoAttack",
+    "PoisonDistribution",
+    "UniformPoison",
+    "GaussianPoison",
+    "BetaPoison",
+    "PointMassPoison",
+    "PoisonRange",
+    "PAPER_POISON_RANGES",
+    "GeneralByzantineAttack",
+    "BiasedByzantineAttack",
+    "InputManipulationAttack",
+    "EvasionAttack",
+    "reduce_gba_to_bba",
+    "equivalent_bba_reports",
+    "total_deviation",
+]

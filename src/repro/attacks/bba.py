@@ -1,0 +1,75 @@
+"""Biased Byzantine Attack (BBA) — Definition 4.
+
+All colluding users report poison values on one side of the reference mean,
+drawn from a :class:`~repro.attacks.distributions.PoisonDistribution` over a
+:class:`~repro.attacks.distributions.PoisonRange`.  This is the attack used in
+Table I and Figures 5-7, 9(a) and 10 of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackReport
+from repro.attacks.distributions import PoisonDistribution, PoisonRange, UniformPoison
+from repro.ldp.base import NumericalMechanism
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class BiasedByzantineAttack(Attack):
+    """One-sided poison-value injection.
+
+    Parameters
+    ----------
+    poison_range:
+        Symbolic range the poison values live in (default ``[O, C]``, i.e. the
+        whole poisoned side).
+    distribution:
+        Distribution over the resolved range (default uniform — the paper's
+        default setting).
+    side:
+        ``"right"`` (default, the paper's default poisoned side) or ``"left"``.
+    """
+
+    def __init__(
+        self,
+        poison_range: PoisonRange | None = None,
+        distribution: PoisonDistribution | None = None,
+        side: str = "right",
+    ) -> None:
+        if side not in ("left", "right"):
+            raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+        self.poison_range = poison_range or PoisonRange.from_mean_to_c(1.0)
+        self.distribution = distribution or UniformPoison()
+        self.side = side
+
+    def poison_reports(
+        self,
+        n_byzantine: int,
+        mechanism: NumericalMechanism,
+        reference_mean: float = 0.0,
+        rng: RngLike = None,
+    ) -> AttackReport:
+        n = self._check_population(n_byzantine)
+        rng = ensure_rng(rng)
+        if n == 0:
+            return AttackReport(reports=np.empty(0), poisoned_side=self.side)
+        low, high = self.poison_range.resolve(mechanism, reference_mean, self.side)
+        reports = self.distribution.sample(n, low, high, rng)
+        reports = self._clip_to_domain(reports, mechanism)
+        return AttackReport(reports=reports, poisoned_side=self.side)
+
+    def resolved_range(
+        self, mechanism: NumericalMechanism, reference_mean: float = 0.0
+    ) -> tuple[float, float]:
+        """Concrete poison range for a mechanism (useful for reporting)."""
+        return self.poison_range.resolve(mechanism, reference_mean, self.side)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BiasedByzantineAttack(range={self.poison_range}, "
+            f"distribution={self.distribution!r}, side={self.side!r})"
+        )
+
+
+__all__ = ["BiasedByzantineAttack"]

@@ -1,0 +1,225 @@
+"""Poison-value ranges and distributions.
+
+The paper parameterises Biased Byzantine Attacks by
+
+* a **poison range** ``Poi[r_l, r_r]`` expressed relative to the output-domain
+  bound ``C`` and the reference mean ``O`` — e.g. ``[3C/4, C]``, ``[O, C/2]``;
+* a **poison distribution** over that range — uniform by default, with
+  Gaussian, Beta(1,6), Beta(6,1) and point-mass variants used in Figure 7.
+
+:class:`PoisonRange` resolves the symbolic endpoints into concrete numbers for
+a given mechanism, and the :class:`PoisonDistribution` subclasses sample poison
+values inside the resolved range.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.ldp.base import NumericalMechanism
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_in_interval
+
+
+@dataclass(frozen=True)
+class _Endpoint:
+    """A symbolic endpoint ``scale_c * C + scale_mean * O + offset``.
+
+    ``C`` is the magnitude of the output-domain bound on the poisoned side
+    (``D_R`` for right-side attacks, ``|D_L|`` for left-side attacks), and
+    ``O`` is the reference mean.
+    """
+
+    scale_c: float = 0.0
+    scale_mean: float = 0.0
+    offset: float = 0.0
+
+    def resolve(self, c_bound: float, reference_mean: float) -> float:
+        return self.scale_c * c_bound + self.scale_mean * reference_mean + self.offset
+
+
+@dataclass(frozen=True)
+class PoisonRange:
+    """Symbolic poison-value range ``[low, high]`` relative to ``C`` and ``O``."""
+
+    low: _Endpoint
+    high: _Endpoint
+    label: str = ""
+
+    # ------------------------------------------------------------------
+    # constructors matching the paper's notation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def of_c(low_frac: float, high_frac: float) -> "PoisonRange":
+        """Range ``[low_frac * C, high_frac * C]`` (e.g. ``[3C/4, C]``)."""
+        return PoisonRange(
+            low=_Endpoint(scale_c=low_frac),
+            high=_Endpoint(scale_c=high_frac),
+            label=f"[{low_frac:g}C,{high_frac:g}C]",
+        )
+
+    @staticmethod
+    def from_mean_to_c(high_frac: float) -> "PoisonRange":
+        """Range ``[O, high_frac * C]`` (e.g. ``[O, C/2]``)."""
+        return PoisonRange(
+            low=_Endpoint(scale_mean=1.0),
+            high=_Endpoint(scale_c=high_frac),
+            label=f"[O,{high_frac:g}C]",
+        )
+
+    @staticmethod
+    def affine(
+        low_c: float, low_offset: float, high_c: float, high_offset: float = 0.0
+    ) -> "PoisonRange":
+        """Range ``[low_c*C + low_offset, high_c*C + high_offset]``.
+
+        Needed for mechanism-specific ranges such as Square Wave's
+        ``[1 + b/2, 1 + b]`` (Figure 8), which mixes a constant with a fraction
+        of the output-domain bound.
+        """
+        return PoisonRange(
+            low=_Endpoint(scale_c=low_c, offset=low_offset),
+            high=_Endpoint(scale_c=high_c, offset=high_offset),
+            label=(
+                f"[{low_c:g}C{low_offset:+g},{high_c:g}C{high_offset:+g}]"
+            ),
+        )
+
+    @staticmethod
+    def absolute(low: float, high: float) -> "PoisonRange":
+        """Fixed numerical range independent of ``C`` and ``O``."""
+        return PoisonRange(
+            low=_Endpoint(offset=low),
+            high=_Endpoint(offset=high),
+            label=f"[{low:g},{high:g}]",
+        )
+
+    # ------------------------------------------------------------------
+    def resolve(
+        self,
+        mechanism: NumericalMechanism,
+        reference_mean: float = 0.0,
+        side: str = "right",
+    ) -> Tuple[float, float]:
+        """Concrete ``(low, high)`` for ``mechanism`` on the given side.
+
+        For a left-side attack the range is mirrored through the reference
+        mean, matching how the paper treats the two sides symmetrically.
+        """
+        domain_low, domain_high = mechanism.output_domain
+        if side == "right":
+            c_bound = domain_high
+            low = self.low.resolve(c_bound, reference_mean)
+            high = self.high.resolve(c_bound, reference_mean)
+        elif side == "left":
+            c_bound = abs(domain_low)
+            # mirror: [x, y] on the right becomes [-y, -x] on the left
+            high = -self.low.resolve(c_bound, reference_mean)
+            low = -self.high.resolve(c_bound, reference_mean)
+        else:
+            raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+        low = max(low, domain_low)
+        high = min(high, domain_high)
+        if high < low:
+            raise ValueError(
+                f"poison range {self.label or '(custom)'} resolves to an empty interval "
+                f"[{low:.4g}, {high:.4g}] for side={side!r}"
+            )
+        return float(low), float(high)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label or "PoisonRange"
+
+
+#: the four ranges evaluated throughout Section VI
+PAPER_POISON_RANGES: Dict[str, PoisonRange] = {
+    "[3C/4,C]": PoisonRange.of_c(0.75, 1.0),
+    "[C/2,C]": PoisonRange.of_c(0.5, 1.0),
+    "[O,C/2]": PoisonRange.from_mean_to_c(0.5),
+    "[O,C]": PoisonRange.from_mean_to_c(1.0),
+    "[C/2,3C/4]": PoisonRange.of_c(0.5, 0.75),
+}
+
+
+class PoisonDistribution(abc.ABC):
+    """Distribution of poison values over a concrete ``[low, high]`` range."""
+
+    @abc.abstractmethod
+    def sample(self, n: int, low: float, high: float, rng: RngLike = None) -> np.ndarray:
+        """Draw ``n`` poison values inside ``[low, high]``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class UniformPoison(PoisonDistribution):
+    """Uniform poison values over the range (the paper's default)."""
+
+    def sample(self, n: int, low: float, high: float, rng: RngLike = None) -> np.ndarray:
+        rng = ensure_rng(rng)
+        return rng.uniform(low, high, size=n)
+
+
+class GaussianPoison(PoisonDistribution):
+    """Gaussian poison values centred on the range, clipped to it (Figure 7)."""
+
+    def __init__(self, relative_std: float = 0.2) -> None:
+        self.relative_std = check_in_interval(relative_std, 0.0, 10.0, "relative_std")
+
+    def sample(self, n: int, low: float, high: float, rng: RngLike = None) -> np.ndarray:
+        rng = ensure_rng(rng)
+        center = (low + high) / 2.0
+        std = max((high - low) * self.relative_std, 1e-12)
+        return np.clip(rng.normal(center, std, size=n), low, high)
+
+
+class BetaPoison(PoisonDistribution):
+    """Beta-distributed poison values rescaled onto the range.
+
+    ``BetaPoison(1, 6)`` concentrates mass near the lower end of the range and
+    ``BetaPoison(6, 1)`` near the upper end, matching Figure 7(c)(d).
+    """
+
+    def __init__(self, a: float, b: float) -> None:
+        if a <= 0 or b <= 0:
+            raise ValueError(f"Beta parameters must be positive, got a={a}, b={b}")
+        self.a = float(a)
+        self.b = float(b)
+
+    def sample(self, n: int, low: float, high: float, rng: RngLike = None) -> np.ndarray:
+        rng = ensure_rng(rng)
+        return low + rng.beta(self.a, self.b, size=n) * (high - low)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BetaPoison(a={self.a:g}, b={self.b:g})"
+
+
+class PointMassPoison(PoisonDistribution):
+    """All poison values at one point of the range (``position`` in [0, 1]).
+
+    ``position=1`` puts every poison value at the upper range end — the
+    maximally damaging configuration used in the evasion-utility bound
+    (Equation 18).
+    """
+
+    def __init__(self, position: float = 1.0) -> None:
+        self.position = check_in_interval(position, 0.0, 1.0, "position")
+
+    def sample(self, n: int, low: float, high: float, rng: RngLike = None) -> np.ndarray:
+        ensure_rng(rng)
+        return np.full(n, low + self.position * (high - low))
+
+
+__all__ = [
+    "PoisonRange",
+    "PAPER_POISON_RANGES",
+    "PoisonDistribution",
+    "UniformPoison",
+    "GaussianPoison",
+    "BetaPoison",
+    "PointMassPoison",
+]

@@ -1,0 +1,111 @@
+"""Evasion attack against the poisoned-side probing (Section V-D, Figure 10).
+
+Attackers aware of DAP may sacrifice a fraction ``a`` of their poison budget
+to place *evasive* values on the opposite side of the poisoned side, hoping to
+flip the side decision of Algorithm 3.  The paper's utility analysis
+(Equations 18-20) shows the evasive mass reduces the attack's own impact by
+``m * a * (C - O') / (m + n)``, so evasion is self-defeating — Figure 10
+measures exactly that trade-off, which this attack reproduces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackReport
+from repro.attacks.distributions import PoisonDistribution, PoisonRange, UniformPoison
+from repro.ldp.base import NumericalMechanism
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_fraction
+
+
+class EvasionAttack(Attack):
+    """BBA with a fraction of evasive poison values on the opposite side.
+
+    Parameters
+    ----------
+    evasive_fraction:
+        Fraction ``a`` of Byzantine users submitting evasive values.
+    true_poison_range:
+        Range of the genuine poison values on the poisoned side (the paper's
+        Figure 10 uses ``[C/2, C]``).
+    evasive_position:
+        Location of the evasive values expressed as a fraction of the
+        *opposite* domain bound (the paper places them at ``-C/2``, i.e. 0.5).
+    distribution:
+        Distribution of the genuine poison values over their range.
+    side:
+        The genuinely poisoned side (``"right"`` by default).
+    """
+
+    def __init__(
+        self,
+        evasive_fraction: float,
+        true_poison_range: PoisonRange | None = None,
+        evasive_position: float = 0.5,
+        distribution: PoisonDistribution | None = None,
+        side: str = "right",
+    ) -> None:
+        if side not in ("left", "right"):
+            raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+        self.evasive_fraction = check_fraction(evasive_fraction, "evasive_fraction")
+        self.evasive_position = check_fraction(evasive_position, "evasive_position")
+        self.true_poison_range = true_poison_range or PoisonRange.of_c(0.5, 1.0)
+        self.distribution = distribution or UniformPoison()
+        self.side = side
+
+    def poison_reports(
+        self,
+        n_byzantine: int,
+        mechanism: NumericalMechanism,
+        reference_mean: float = 0.0,
+        rng: RngLike = None,
+    ) -> AttackReport:
+        n = self._check_population(n_byzantine)
+        rng = ensure_rng(rng)
+        if n == 0:
+            return AttackReport(reports=np.empty(0), poisoned_side=self.side)
+
+        n_evasive = int(round(n * self.evasive_fraction))
+        n_true = n - n_evasive
+        domain_low, domain_high = mechanism.output_domain
+
+        pieces = []
+        if n_true:
+            low, high = self.true_poison_range.resolve(mechanism, reference_mean, self.side)
+            pieces.append(self.distribution.sample(n_true, low, high, rng))
+        if n_evasive:
+            if self.side == "right":
+                evasive_value = domain_low * self.evasive_position
+            else:
+                evasive_value = domain_high * self.evasive_position
+            pieces.append(np.full(n_evasive, evasive_value))
+
+        reports = np.concatenate(pieces) if pieces else np.empty(0)
+        reports = self._clip_to_domain(reports, mechanism)
+        return AttackReport(reports=reports, poisoned_side=self.side)
+
+    def utility_loss_bound(
+        self,
+        n_byzantine: int,
+        n_normal: int,
+        mechanism: NumericalMechanism,
+        reference_mean: float = 0.0,
+    ) -> float:
+        """The paper's Equation 20: utility sacrificed by the evasive mass."""
+        c_bound = mechanism.output_domain[1] if self.side == "right" else abs(
+            mechanism.output_domain[0]
+        )
+        m, n = float(n_byzantine), float(n_normal)
+        if m + n == 0:
+            return 0.0
+        return m * self.evasive_fraction * (c_bound - reference_mean) / (m + n)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EvasionAttack(a={self.evasive_fraction:g}, "
+            f"range={self.true_poison_range}, side={self.side!r})"
+        )
+
+
+__all__ = ["EvasionAttack"]

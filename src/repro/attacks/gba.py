@@ -1,0 +1,84 @@
+"""General Byzantine Attack (GBA) — Definition 2.
+
+Colluding users may submit *any* values inside the perturbation output domain
+``[D_L, D_R]``; nothing about their strategy or distribution is known to the
+collector.  This implementation lets the attacker mix mass on both sides of
+the reference mean, which is the most general shape; Theorem 1 guarantees any
+such attack is equivalent (for mean estimation) to a Biased Byzantine Attack,
+and :func:`repro.attacks.reduction.reduce_gba_to_bba` realises that reduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackReport
+from repro.attacks.distributions import PoisonDistribution, UniformPoison
+from repro.ldp.base import NumericalMechanism
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_fraction
+
+
+class GeneralByzantineAttack(Attack):
+    """Arbitrary poison values over the whole output domain.
+
+    Parameters
+    ----------
+    right_fraction:
+        Fraction of Byzantine users whose poison values land on the right of
+        the reference mean; the rest land on the left.  ``1.0`` degenerates to
+        a right-sided attack, ``0.5`` spreads poison on both sides.
+    distribution:
+        Poison distribution applied independently on each side (uniform by
+        default, matching "arbitrary values" with no further structure).
+    """
+
+    def __init__(
+        self,
+        right_fraction: float = 1.0,
+        distribution: PoisonDistribution | None = None,
+    ) -> None:
+        self.right_fraction = check_fraction(right_fraction, "right_fraction")
+        self.distribution = distribution or UniformPoison()
+
+    def poison_reports(
+        self,
+        n_byzantine: int,
+        mechanism: NumericalMechanism,
+        reference_mean: float = 0.0,
+        rng: RngLike = None,
+    ) -> AttackReport:
+        n = self._check_population(n_byzantine)
+        rng = ensure_rng(rng)
+        if n == 0:
+            return AttackReport(reports=np.empty(0), poisoned_side="both")
+        domain_low, domain_high = mechanism.output_domain
+        n_right = int(round(n * self.right_fraction))
+        n_left = n - n_right
+        pieces = []
+        if n_right:
+            pieces.append(
+                self.distribution.sample(n_right, reference_mean, domain_high, rng)
+            )
+        if n_left:
+            pieces.append(
+                self.distribution.sample(n_left, domain_low, reference_mean, rng)
+            )
+        reports = np.concatenate(pieces) if pieces else np.empty(0)
+        reports = self._clip_to_domain(reports, mechanism)
+        if n_left == 0:
+            side = "right"
+        elif n_right == 0:
+            side = "left"
+        else:
+            side = "both"
+        return AttackReport(reports=reports, poisoned_side=side)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GeneralByzantineAttack(right_fraction={self.right_fraction:g}, "
+            f"distribution={self.distribution!r})"
+        )
+
+
+__all__ = ["GeneralByzantineAttack"]

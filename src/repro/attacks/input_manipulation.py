@@ -1,0 +1,57 @@
+"""Input Manipulation Attack (IMA).
+
+Byzantine users choose an input poison value ``g`` (typically an extreme of
+the input domain) and then perturb it *honestly* with the LDP mechanism, so
+their reports are statistically indistinguishable from those of a normal user
+holding ``g``.  The attack is far weaker than output manipulation but much
+harder to detect — the paper evaluates it in Figures 5(d) and 9(b) and shows
+EMF can be combined with the k-means defence to handle it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackReport
+from repro.ldp.base import NumericalMechanism
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_in_interval
+
+
+class InputManipulationAttack(Attack):
+    """Perturb a chosen input poison value ``g`` through the real mechanism.
+
+    Parameters
+    ----------
+    poison_input:
+        The input value ``g`` in ``[-1, 1]`` every Byzantine user pretends to
+        hold (``1.0`` by default — the strongest right-side bias available to
+        an input-manipulating attacker).
+    """
+
+    def __init__(self, poison_input: float = 1.0) -> None:
+        self.poison_input = check_in_interval(poison_input, -1.0, 1.0, "poison_input")
+
+    def poison_reports(
+        self,
+        n_byzantine: int,
+        mechanism: NumericalMechanism,
+        reference_mean: float = 0.0,
+        rng: RngLike = None,
+    ) -> AttackReport:
+        n = self._check_population(n_byzantine)
+        rng = ensure_rng(rng)
+        if n == 0:
+            return AttackReport(reports=np.empty(0), poisoned_side="right")
+        low, high = mechanism.input_domain
+        g = float(np.clip(self.poison_input, low, high))
+        inputs = np.full(n, g)
+        reports = mechanism.perturb(inputs, rng)
+        side = "right" if g >= reference_mean else "left"
+        return AttackReport(reports=np.asarray(reports, dtype=float), poisoned_side=side)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"InputManipulationAttack(poison_input={self.poison_input:g})"
+
+
+__all__ = ["InputManipulationAttack"]

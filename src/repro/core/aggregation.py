@@ -1,0 +1,126 @@
+"""Optimal inter-group aggregation (Algorithm 5, Theorem 6).
+
+DAP estimates one mean per group; the groups use different privacy budgets so
+their estimates carry different variances.  Theorem 6 derives the linear
+combination of the group means with the minimum worst-case variance: weight
+each group by the inverse of
+
+``B_t = n_hat_t * Var_worst(epsilon_t)``
+
+where ``Var_worst(epsilon) = 1/(e^{eps/2}-1) + (e^{eps/2}+3)/(3(e^{eps/2}-1)^2)``
+is PM's worst-case per-report variance (inputs at +-1) and ``n_hat_t`` is the
+estimated number of *normal* users in the group.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+def worst_case_group_variance(epsilon: float) -> float:
+    """PM's worst-case per-report variance ``Var_worst`` for budget ``epsilon``."""
+    epsilon = check_positive(epsilon, "epsilon")
+    half = math.exp(epsilon / 2.0)
+    return 1.0 / (half - 1.0) + (half + 3.0) / (3.0 * (half - 1.0) ** 2)
+
+
+def aggregation_weights(
+    epsilons: Sequence[float],
+    n_normal_users: Sequence[float],
+    per_report_variances: Sequence[float] | None = None,
+) -> np.ndarray:
+    """Theorem 6's minimum-variance weights.
+
+    The proof of Theorem 6 yields ``w_t ∝ n_hat_t^2 / B_t`` with
+    ``B_t = n_hat_t * Var_worst(epsilon_t)``, i.e. each group is weighted by
+    the inverse of its group-mean variance ``Var_worst(epsilon_t) / n_hat_t``.
+    (Algorithm 5's printed form ``w_t = (B_t * sum_i 1/B_i)^{-1}`` is the
+    special case of equal-sized groups, which DAP's grouping produces; the
+    general form used here also covers unequal effective group sizes.)
+
+    Parameters
+    ----------
+    epsilons:
+        Privacy budget of each group.
+    n_normal_users:
+        Estimated number of normal users per group
+        (``n_hat_t = (N_t - m_hat_t) * epsilon_t / epsilon``).
+    per_report_variances:
+        Optional override of the per-report worst-case variance per group;
+        defaults to PM's formula.  Passing a different mechanism's variances
+        lets the same aggregation serve SW or Hybrid instantiations.
+    """
+    epsilons = [check_positive(e, "epsilon") for e in epsilons]
+    n_normal = np.asarray(list(n_normal_users), dtype=float)
+    if len(epsilons) != n_normal.size:
+        raise ValueError("epsilons and n_normal_users must have the same length")
+    if n_normal.size == 0:
+        raise ValueError("at least one group is required")
+    if np.any(n_normal < 0):
+        raise ValueError("estimated normal-user counts must be non-negative")
+
+    if per_report_variances is None:
+        variances = np.array([worst_case_group_variance(e) for e in epsilons])
+    else:
+        variances = np.asarray(list(per_report_variances), dtype=float)
+        if variances.size != n_normal.size:
+            raise ValueError("per_report_variances must match the number of groups")
+
+    # a group with no surviving normal users carries no information and gets
+    # zero weight; otherwise weight by the inverse group-mean variance
+    with np.errstate(divide="ignore", invalid="ignore"):
+        inverse_variance = np.where(n_normal > 0, n_normal / variances, 0.0)
+    total = inverse_variance.sum()
+    if total <= 0:
+        # degenerate: no group has usable data; fall back to equal weights
+        return np.full(n_normal.size, 1.0 / n_normal.size)
+    return inverse_variance / total
+
+
+def aggregate_means(means: Sequence[float], weights: Sequence[float]) -> float:
+    """Weighted combination ``M_tilde = sum_t w_t * M_t`` (Algorithm 5, line 5)."""
+    means = np.asarray(list(means), dtype=float)
+    weights = np.asarray(list(weights), dtype=float)
+    if means.shape != weights.shape:
+        raise ValueError("means and weights must have the same length")
+    if means.size == 0:
+        raise ValueError("at least one group mean is required")
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("weights must have positive total mass")
+    return float(np.dot(means, weights) / total)
+
+
+def minimal_aggregated_variance(
+    epsilons: Sequence[float],
+    n_normal_users: Sequence[float],
+) -> float:
+    """Theorem 6's minimal variance ``[sum_t n_hat_t^2 / B_t]^{-1}``.
+
+    Note: in Theorem 6's derivation the group-mean variance is
+    ``B_t / n_hat_t^2``, so the optimal combined variance is the harmonic-style
+    expression returned here.  Useful for analytical comparisons and tests.
+    """
+    epsilons = [check_positive(e, "epsilon") for e in epsilons]
+    n_normal = np.asarray(list(n_normal_users), dtype=float)
+    b = np.array(
+        [n * worst_case_group_variance(e) for e, n in zip(epsilons, n_normal)]
+    )
+    valid = (n_normal > 0) & (b > 0)
+    if not np.any(valid):
+        raise ValueError("no group has usable data")
+    total = float(np.sum(n_normal[valid] ** 2 / b[valid]))
+    return 1.0 / total
+
+
+__all__ = [
+    "worst_case_group_variance",
+    "aggregation_weights",
+    "aggregate_means",
+    "minimal_aggregated_variance",
+]

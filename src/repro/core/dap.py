@@ -1,0 +1,444 @@
+"""Differential Aggregation Protocol — DAP (Section V, Figure 3).
+
+The five stages of the protocol:
+
+1. **Grouping** — users are randomly assigned to ``h = ceil(log2(eps/eps0)) + 1``
+   equal-sized groups whose budgets form the ladder ``{eps, eps/2, ..., eps0}``.
+   Users in a small-budget group report multiple times (``eps / eps_t`` reports)
+   so every user spends exactly ``eps`` in total.
+2. **Perturbation** — each user perturbs with her group's budget; Byzantine
+   users instead submit poison values inside that group's output domain.
+3. **Probing** — the collector runs EMF per group; the poisoned side and the
+   Byzantine proportion are taken from the smallest-budget group, where
+   Theorem 3 makes them most accurate.
+4. **Intra-group estimation** — each group's mean is corrected for the
+   reconstructed poison mass (Equation 13), optionally after the EMF* or
+   CEMF* post-processing.
+5. **Inter-group aggregation** — the group means are combined with the
+   minimum-variance weights of Theorem 6.
+
+``DAPProtocol.run`` simulates the client side and the collector side end to
+end; ``DAPProtocol.aggregate`` is the collector-only entry point that consumes
+already-collected per-group reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Literal, Sequence
+
+import numpy as np
+
+from repro.attacks.base import Attack, NoAttack
+from repro.core.aggregation import aggregate_means, aggregation_weights
+from repro.core.cemf_star import DEFAULT_SUPPRESSION_FACTOR, run_cemf_star
+from repro.core.emf import EMFResult, run_emf
+from repro.core.emf_star import run_emf_star
+from repro.core.features import estimate_byzantine_features
+from repro.core.mean_estimation import corrected_mean
+from repro.core.transform import build_transform_matrix, default_bucket_counts
+from repro.ldp.base import NumericalMechanism
+from repro.ldp.budget import dap_budget_ladder
+from repro.ldp.piecewise import PiecewiseMechanism
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_integer, check_positive
+
+MechanismFactory = Callable[[float], NumericalMechanism]
+EstimatorName = Literal["emf", "emf_star", "cemf_star"]
+
+
+@dataclass
+class DAPConfig:
+    """Configuration of the DAP protocol.
+
+    Attributes
+    ----------
+    epsilon:
+        Total per-user privacy budget.
+    epsilon_min:
+        Minimum acceptable group budget ``eps_0`` (1/16 in the paper).
+    estimator:
+        Which reconstruction drives the intra-group correction: ``"emf"``,
+        ``"emf_star"`` or ``"cemf_star"`` — the three DAP variants of Figure 6.
+    mechanism_factory:
+        Budget -> mechanism constructor (PM by default; pass
+        ``SquareWaveMechanism`` for the Figure 8 variant).
+    reference_mean:
+        The collector's ``O'`` (``None`` = output-domain centre, the paper's
+        simplification).
+    n_input_buckets / n_output_buckets:
+        Grid resolutions; ``None`` uses the paper defaults per group.
+    suppression_factor:
+        CEMF* bucket-suppression threshold factor.
+    intra_group_mean:
+        ``"corrected_sum"`` (Equation 13 — subtract the reconstructed poison
+        contribution from the report sum; correct for unbiased mechanisms such
+        as PM) or ``"distribution"`` (take the mean of the reconstructed
+        normal-user histogram — the route used with Square Wave, whose raw
+        reports are biased).
+    max_reports_per_user:
+        Safety cap on the per-user report multiplicity for tiny ``eps_0``.
+    """
+
+    epsilon: float
+    epsilon_min: float = 1.0 / 16.0
+    estimator: EstimatorName = "cemf_star"
+    mechanism_factory: MechanismFactory = PiecewiseMechanism
+    reference_mean: float | None = None
+    n_input_buckets: int | None = None
+    n_output_buckets: int | None = None
+    suppression_factor: float = DEFAULT_SUPPRESSION_FACTOR
+    intra_group_mean: Literal["corrected_sum", "distribution"] = "corrected_sum"
+    max_reports_per_user: int = 64
+
+    def __post_init__(self) -> None:
+        check_positive(self.epsilon, "epsilon")
+        check_positive(self.epsilon_min, "epsilon_min")
+        if self.epsilon_min > self.epsilon:
+            raise ValueError(
+                f"epsilon_min ({self.epsilon_min:g}) must not exceed epsilon "
+                f"({self.epsilon:g})"
+            )
+        if self.estimator not in ("emf", "emf_star", "cemf_star"):
+            raise ValueError(
+                f"estimator must be 'emf', 'emf_star' or 'cemf_star', got "
+                f"{self.estimator!r}"
+            )
+        if self.intra_group_mean not in ("corrected_sum", "distribution"):
+            raise ValueError(
+                "intra_group_mean must be 'corrected_sum' or 'distribution', got "
+                f"{self.intra_group_mean!r}"
+            )
+        check_integer(self.max_reports_per_user, "max_reports_per_user", minimum=1)
+
+    @property
+    def budget_ladder(self) -> List[float]:
+        """Group budgets ``{eps, eps/2, ..., eps_0}``."""
+        return dap_budget_ladder(self.epsilon, self.epsilon_min)
+
+    @property
+    def n_groups(self) -> int:
+        """Number of groups ``h``."""
+        return len(self.budget_ladder)
+
+
+@dataclass
+class GroupCollection:
+    """Reports collected from one group.
+
+    Attributes
+    ----------
+    epsilon:
+        The group's privacy budget ``eps_t``.
+    reports:
+        All reports from the group (normal + poison), one entry per report
+        (users may contribute several).
+    n_users:
+        Number of users assigned to the group (normal + Byzantine).
+    """
+
+    epsilon: float
+    reports: np.ndarray
+    n_users: int = 0
+
+    def __post_init__(self) -> None:
+        self.reports = np.asarray(self.reports, dtype=float).ravel()
+
+    @property
+    def n_reports(self) -> int:
+        """Number of collected reports ``N_t``."""
+        return int(self.reports.size)
+
+
+@dataclass
+class GroupEstimate:
+    """Collector-side result for one group.
+
+    Attributes
+    ----------
+    epsilon:
+        The group budget.
+    mean:
+        The poison-corrected intra-group mean ``M_t``.
+    gamma_hat:
+        Poison proportion reconstructed in this group.
+    n_reports:
+        Number of reports the group contributed.
+    n_normal_estimate:
+        Estimated number of normal *users* ``n_hat_t`` (reports rescaled by
+        ``eps_t / eps``).
+    weight:
+        Aggregation weight assigned by Theorem 6 (filled in at aggregation).
+    emf:
+        The reconstruction (EMF / EMF* / CEMF*) the mean was derived from.
+    """
+
+    epsilon: float
+    mean: float
+    gamma_hat: float
+    n_reports: int
+    n_normal_estimate: float
+    weight: float = 0.0
+    emf: EMFResult | None = None
+
+
+@dataclass
+class DAPResult:
+    """Final outcome of a DAP run.
+
+    Attributes
+    ----------
+    estimate:
+        The aggregated mean estimate ``M_tilde``.
+    poisoned_side:
+        Side selected by the probing stage.
+    gamma_hat:
+        Byzantine proportion probed in the smallest-budget group.
+    group_estimates:
+        Per-group details (budget, corrected mean, weight, ...).
+    """
+
+    estimate: float
+    poisoned_side: str
+    gamma_hat: float
+    group_estimates: List[GroupEstimate] = field(default_factory=list)
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Aggregation weights, in group order."""
+        return np.array([g.weight for g in self.group_estimates])
+
+
+class DAPProtocol:
+    """The multi-group Differential Aggregation Protocol."""
+
+    def __init__(self, config: DAPConfig) -> None:
+        self.config = config
+        self._mechanisms = {
+            eps: config.mechanism_factory(eps) for eps in config.budget_ladder
+        }
+
+    # ------------------------------------------------------------------
+    # client-side simulation
+    # ------------------------------------------------------------------
+    def mechanism_for(self, epsilon: float) -> NumericalMechanism:
+        """The mechanism instance used by the group with budget ``epsilon``."""
+        return self._mechanisms[epsilon]
+
+    def collect(
+        self,
+        normal_values: np.ndarray,
+        attack: Attack | None = None,
+        n_byzantine: int = 0,
+        rng: RngLike = None,
+    ) -> List[GroupCollection]:
+        """Simulate grouping + perturbation and return per-group reports.
+
+        Normal users perturb their value ``eps / eps_t`` times with their
+        group's mechanism; Byzantine users submit the same number of poison
+        reports drawn from the attack strategy against that group's output
+        domain.
+        """
+        rng = ensure_rng(rng)
+        attack = attack or NoAttack()
+        normal_values = np.asarray(normal_values, dtype=float).ravel()
+        n_byzantine = check_integer(n_byzantine, "n_byzantine", minimum=0)
+
+        n_normal = normal_values.size
+        n_total = n_normal + n_byzantine
+        if n_total == 0:
+            raise ValueError("at least one user is required")
+
+        ladder = self.config.budget_ladder
+        h = len(ladder)
+
+        # random assignment into h (nearly) equal-sized groups
+        user_indices = rng.permutation(n_total)
+        group_of_user = np.empty(n_total, dtype=int)
+        for group_index, member in enumerate(np.array_split(user_indices, h)):
+            group_of_user[member] = group_index
+
+        groups: List[GroupCollection] = []
+        for group_index, epsilon_t in enumerate(ladder):
+            mechanism = self.mechanism_for(epsilon_t)
+            members = np.flatnonzero(group_of_user == group_index)
+            normal_members = members[members < n_normal]
+            byzantine_members = members[members >= n_normal]
+            repeats = self._reports_per_user(epsilon_t)
+
+            pieces = []
+            if normal_members.size:
+                values = np.repeat(normal_values[normal_members], repeats)
+                pieces.append(mechanism.perturb(values, rng))
+            if byzantine_members.size:
+                reference = self._reference_mean(mechanism)
+                poison = attack.poison_reports(
+                    int(byzantine_members.size) * repeats, mechanism, reference, rng
+                ).reports
+                pieces.append(poison)
+            reports = np.concatenate(pieces) if pieces else np.empty(0)
+            groups.append(
+                GroupCollection(
+                    epsilon=epsilon_t, reports=reports, n_users=int(members.size)
+                )
+            )
+        return groups
+
+    def _reports_per_user(self, epsilon_t: float) -> int:
+        """How many reports a user in the ``epsilon_t`` group submits."""
+        repeats = int(round(self.config.epsilon / epsilon_t))
+        return max(1, min(repeats, self.config.max_reports_per_user))
+
+    def _reference_mean(self, mechanism: NumericalMechanism) -> float:
+        if self.config.reference_mean is not None:
+            return self.config.reference_mean
+        low, high = mechanism.output_domain
+        return 0.5 * (low + high)
+
+    # ------------------------------------------------------------------
+    # collector side
+    # ------------------------------------------------------------------
+    def aggregate(self, groups: Sequence[GroupCollection]) -> DAPResult:
+        """Probing + intra-group estimation + inter-group aggregation."""
+        groups = [g for g in groups if g.n_reports > 0]
+        if not groups:
+            raise ValueError("no group contributed any reports")
+
+        # --- stage 3: probe side and gamma in the smallest-budget group ----------
+        probe_group = min(groups, key=lambda g: g.epsilon)
+        probe_mechanism = self.mechanism_for(probe_group.epsilon)
+        features = estimate_byzantine_features(
+            probe_mechanism,
+            probe_group.reports,
+            n_input_buckets=self.config.n_input_buckets,
+            n_output_buckets=self.config.n_output_buckets,
+            reference_mean=self.config.reference_mean,
+            epsilon=probe_group.epsilon,
+        )
+        side = features.side
+        gamma_global = features.gamma_hat
+
+        # --- stage 4: per-group reconstruction + corrected mean ------------------
+        estimates: List[GroupEstimate] = []
+        for group in groups:
+            estimates.append(
+                self._estimate_group(group, side=side, gamma_global=gamma_global)
+            )
+
+        # --- stage 5: minimum-variance aggregation -------------------------------
+        variances = [
+            self.mechanism_for(e.epsilon).worst_case_variance() for e in estimates
+        ]
+        weights = aggregation_weights(
+            [e.epsilon for e in estimates],
+            [e.n_normal_estimate for e in estimates],
+            per_report_variances=variances,
+        )
+        for estimate, weight in zip(estimates, weights):
+            estimate.weight = float(weight)
+        aggregated = aggregate_means([e.mean for e in estimates], weights)
+
+        return DAPResult(
+            estimate=aggregated,
+            poisoned_side=side,
+            gamma_hat=gamma_global,
+            group_estimates=estimates,
+        )
+
+    def _estimate_group(
+        self, group: GroupCollection, side: str, gamma_global: float
+    ) -> GroupEstimate:
+        """Stage 4 for one group: reconstruct, correct, convert to users."""
+        mechanism = self.mechanism_for(group.epsilon)
+        d_in, d_out = self._bucket_counts(group)
+        transform = build_transform_matrix(
+            mechanism,
+            n_input_buckets=d_in,
+            n_output_buckets=d_out,
+            side=side,
+            reference_mean=self.config.reference_mean,
+        )
+        counts = transform.output_counts(group.reports)
+
+        # the distribution route needs a sharply converged histogram, so it
+        # tightens the paper's probing tolerance tau = 0.01 * e^eps
+        tol = 1e-6 if self.config.intra_group_mean == "distribution" else None
+
+        emf = run_emf(transform, counts=counts, epsilon=group.epsilon, tol=tol)
+        if self.config.estimator == "emf":
+            reconstruction = emf
+        elif self.config.estimator == "emf_star":
+            reconstruction = run_emf_star(
+                transform,
+                gamma_hat=gamma_global,
+                counts=counts,
+                epsilon=group.epsilon,
+                tol=tol,
+            )
+        else:  # cemf_star
+            reconstruction = run_cemf_star(
+                transform,
+                emf_result=emf,
+                gamma_hat=gamma_global,
+                counts=counts,
+                epsilon=group.epsilon,
+                suppression_factor=self.config.suppression_factor,
+                tol=tol,
+            )
+
+        gamma_t = reconstruction.gamma_hat
+        if self.config.intra_group_mean == "corrected_sum":
+            mean_t = corrected_mean(
+                group.reports,
+                gamma_hat=gamma_t,
+                poison_mean=reconstruction.poison_mean,
+                input_domain=mechanism.input_domain,
+            )
+        else:
+            low, high = mechanism.input_domain
+            mean_t = float(
+                np.clip(reconstruction.estimated_normal_mean(), low, high)
+            )
+        m_hat_t = gamma_t * group.n_reports
+        n_normal_estimate = max(0.0, (group.n_reports - m_hat_t)) * (
+            group.epsilon / self.config.epsilon
+        )
+        return GroupEstimate(
+            epsilon=group.epsilon,
+            mean=mean_t,
+            gamma_hat=gamma_t,
+            n_reports=group.n_reports,
+            n_normal_estimate=n_normal_estimate,
+            emf=reconstruction,
+        )
+
+    def _bucket_counts(self, group: GroupCollection) -> tuple[int, int]:
+        d_in, d_out = default_bucket_counts(max(1, group.n_reports), group.epsilon)
+        if self.config.n_input_buckets is not None:
+            d_in = self.config.n_input_buckets
+        if self.config.n_output_buckets is not None:
+            d_out = self.config.n_output_buckets
+        return d_in, d_out
+
+    # ------------------------------------------------------------------
+    # end to end
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        normal_values: np.ndarray,
+        attack: Attack | None = None,
+        n_byzantine: int = 0,
+        rng: RngLike = None,
+    ) -> DAPResult:
+        """Simulate one full DAP round (client + collector)."""
+        groups = self.collect(normal_values, attack, n_byzantine, rng)
+        return self.aggregate(groups)
+
+
+__all__ = [
+    "DAPConfig",
+    "DAPProtocol",
+    "DAPResult",
+    "GroupCollection",
+    "GroupEstimate",
+]

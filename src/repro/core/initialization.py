@@ -1,0 +1,73 @@
+"""Pessimistic initialisation of the true mean ``O'`` (Theorem 2).
+
+The Biased Byzantine Attack is defined relative to the true mean ``O``, which
+the collector does not know.  Theorem 2 gives a *pessimistic* initial guess:
+remove the largest ``ceil(gamma_sup * N)`` reports (the worst the attackers
+could have contributed) and average the rest; the result ``O'`` is guaranteed
+not to overshoot towards the poisoned side, so the BBA poison range built on
+``O'`` always contains the true poison range.
+
+The paper then simplifies to ``O' = 0`` for its experiments; both the exact
+pessimistic estimate and that simplification are available here.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.utils.validation import check_fraction
+
+#: the BFT bound on the Byzantine proportion used when nothing else is known
+DEFAULT_GAMMA_SUP = 0.5
+
+
+def pessimistic_mean(
+    reports: np.ndarray,
+    gamma_sup: float = DEFAULT_GAMMA_SUP,
+    side: str = "right",
+) -> float:
+    """Theorem 2's pessimistic initialisation ``O'``.
+
+    Parameters
+    ----------
+    reports:
+        All collected reports.
+    gamma_sup:
+        Upper bound on the Byzantine proportion (0.5 by default, per the BFT
+        assumption; smaller with prior knowledge — footnote 4).
+    side:
+        The hypothesised poisoned side.  For ``"right"`` the *largest*
+        ``ceil(gamma_sup * N)`` reports are discarded so ``O' <= O``; for
+        ``"left"`` the smallest are discarded so ``O' >= O``.
+    """
+    reports = np.asarray(reports, dtype=float).ravel()
+    if reports.size == 0:
+        raise ValueError("cannot initialise O' from zero reports")
+    gamma_sup = check_fraction(gamma_sup, "gamma_sup")
+    if side not in ("left", "right"):
+        raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+    n = reports.size
+    n_remove = min(n - 1, int(math.ceil(gamma_sup * n)))
+    if n_remove <= 0:
+        return float(reports.mean())
+    ordered = np.sort(reports)
+    if side == "right":
+        kept = ordered[: n - n_remove]
+    else:
+        kept = ordered[n_remove:]
+    return float(kept.mean())
+
+
+def pessimistic_mean_both_sides(
+    reports: np.ndarray, gamma_sup: float = DEFAULT_GAMMA_SUP
+) -> tuple[float, float]:
+    """Pessimistic means for both hypothesised sides ``(right, left)``."""
+    return (
+        pessimistic_mean(reports, gamma_sup, side="right"),
+        pessimistic_mean(reports, gamma_sup, side="left"),
+    )
+
+
+__all__ = ["pessimistic_mean", "pessimistic_mean_both_sides", "DEFAULT_GAMMA_SUP"]

@@ -1,0 +1,72 @@
+"""Poison-corrected mean estimation (Equations 12-13).
+
+Once the collector knows (estimates of) the Byzantine proportion and the
+poison-value mean, the normal users' mean follows by removing the attackers'
+aggregate contribution from the report sum:
+
+``M_tilde = (sum(reports) - m_hat * M_poison) / (N - m_hat)``
+
+where ``m_hat = gamma_hat * N``.  Because PM reports are unbiased estimates of
+the inputs, ``M_tilde`` is (approximately) unbiased for the normal users'
+mean.  The estimate is finally clipped into the mechanism's input domain — a
+free post-processing step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_fraction
+
+
+def plain_mean(reports: np.ndarray) -> float:
+    """The undefended estimator: average every report (the Ostrich rule)."""
+    reports = np.asarray(reports, dtype=float)
+    if reports.size == 0:
+        raise ValueError("cannot estimate a mean from zero reports")
+    return float(reports.mean())
+
+
+def corrected_mean(
+    reports: np.ndarray,
+    gamma_hat: float,
+    poison_mean: float,
+    input_domain: tuple[float, float] = (-1.0, 1.0),
+    clip: bool = True,
+) -> float:
+    """Equation 12/13: subtract the estimated collective poison contribution.
+
+    Parameters
+    ----------
+    reports:
+        All collected reports of the batch/group being estimated.
+    gamma_hat:
+        Estimated fraction of poison reports in the batch.
+    poison_mean:
+        Estimated mean of the poison values (``M_alpha``/``M_beta``).
+    input_domain:
+        Domain to clip the final estimate into.
+    clip:
+        Disable to obtain the raw, unclipped corrected mean.
+    """
+    reports = np.asarray(reports, dtype=float)
+    n = reports.size
+    if n == 0:
+        raise ValueError("cannot estimate a mean from zero reports")
+    gamma_hat = check_fraction(gamma_hat, "gamma_hat")
+
+    m_hat = gamma_hat * n
+    denominator = n - m_hat
+    if denominator <= 0:
+        # the probe claims (almost) everyone is Byzantine; fall back to the
+        # clipped plain mean rather than dividing by zero
+        estimate = plain_mean(reports)
+    else:
+        estimate = (reports.sum() - m_hat * poison_mean) / denominator
+    if clip:
+        low, high = input_domain
+        estimate = float(np.clip(estimate, low, high))
+    return float(estimate)
+
+
+__all__ = ["plain_mean", "corrected_mean"]

@@ -1,0 +1,110 @@
+"""Poisoned-side probing (Algorithm 3).
+
+The collector does not know whether the attack pushes the mean up (right) or
+down (left).  Algorithm 3 settles it by running EMF twice — once with poison
+buckets on the right half of the output domain (``M_R``) and once on the left
+(``M_L``) — and picking the side whose reconstructed *normal-user* histogram
+``x_hat`` has the smaller variance.  Theorem 3 explains why: with the correct
+side, ``x_hat`` converges towards the (near-uniform) perturbed normal
+distribution; with the wrong side, all poison mass is forced into ``x_hat``
+and skews it heavily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.emf import DEFAULT_MAX_ITER, EMFResult, run_emf
+from repro.core.transform import TransformMatrix, build_transform_matrix
+
+
+@dataclass
+class SideProbeResult:
+    """Outcome of the poisoned-side probing.
+
+    Attributes
+    ----------
+    side:
+        ``"left"`` or ``"right"`` — the side Algorithm 3 selects.
+    variance_left, variance_right:
+        Variance of the reconstructed normal histogram under each hypothesis
+        (Table I reports exactly these numbers).
+    emf_left, emf_right:
+        The full EMF results for each hypothesis, so callers can reuse the
+        winning reconstruction without re-running EM.
+    """
+
+    side: str
+    variance_left: float
+    variance_right: float
+    emf_left: EMFResult
+    emf_right: EMFResult
+
+    @property
+    def selected(self) -> EMFResult:
+        """EMF result of the selected side."""
+        return self.emf_left if self.side == "left" else self.emf_right
+
+    @property
+    def selected_transform(self) -> TransformMatrix:
+        """Transform matrix of the selected side."""
+        return self.selected.transform
+
+
+def probe_poisoned_side(
+    mechanism,
+    reports: np.ndarray,
+    n_input_buckets: int,
+    n_output_buckets: int,
+    reference_mean: float | None = None,
+    epsilon: float | None = None,
+    tol: float | None = None,
+    max_iter: int = DEFAULT_MAX_ITER,
+) -> SideProbeResult:
+    """Run Algorithm 3 and return the side decision plus both EMF runs.
+
+    Parameters
+    ----------
+    mechanism:
+        The numerical mechanism the normal users applied (PM or SW).
+    reports:
+        All collected reports (normal + poison, indistinguishable).
+    n_input_buckets, n_output_buckets:
+        Grid resolutions ``d`` and ``d'``.
+    reference_mean:
+        The pessimistic mean ``O'`` splitting the output domain (defaults to
+        the domain centre).
+    epsilon, tol, max_iter:
+        EM convergence controls forwarded to :func:`repro.core.emf.run_emf`.
+    """
+    reports = np.asarray(reports, dtype=float)
+    epsilon = mechanism.epsilon if epsilon is None else epsilon
+
+    results = {}
+    for side in ("left", "right"):
+        transform = build_transform_matrix(
+            mechanism,
+            n_input_buckets=n_input_buckets,
+            n_output_buckets=n_output_buckets,
+            side=side,
+            reference_mean=reference_mean,
+        )
+        results[side] = run_emf(
+            transform, reports=reports, epsilon=epsilon, tol=tol, max_iter=max_iter
+        )
+
+    variance_left = results["left"].normal_histogram_variance
+    variance_right = results["right"].normal_histogram_variance
+    side = "left" if variance_left < variance_right else "right"
+    return SideProbeResult(
+        side=side,
+        variance_left=variance_left,
+        variance_right=variance_right,
+        emf_left=results["left"],
+        emf_right=results["right"],
+    )
+
+
+__all__ = ["SideProbeResult", "probe_poisoned_side"]

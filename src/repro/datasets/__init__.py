@@ -1,0 +1,34 @@
+"""Datasets used in the paper's evaluation (Section VI, Figure 4).
+
+The two synthetic datasets — Beta(2,5) and Beta(5,2) — are generated exactly
+as described.  The two real-world datasets (NYC Taxi pick-up times and San
+Francisco Retirement compensation) and the categorical COVID-19 dataset are
+not redistributable and not downloadable offline, so this package ships
+*synthetic equivalents* whose normalised distributions match the shape and
+mean reported in the paper (see ``DESIGN.md`` for the substitution rationale).
+
+All numerical datasets expose values normalised into ``[-1, 1]`` — the input
+domain of the Piecewise Mechanism — plus the raw domain for documentation.
+"""
+
+from repro.datasets.base import NumericalDataset, CategoricalDataset, normalize_to_unit
+from repro.datasets.synthetic import beta_dataset, uniform_dataset, gaussian_dataset
+from repro.datasets.taxi import taxi_dataset
+from repro.datasets.retirement import retirement_dataset
+from repro.datasets.covid import covid_dataset
+from repro.datasets.registry import load_dataset, available_datasets, PAPER_DATASETS
+
+__all__ = [
+    "NumericalDataset",
+    "CategoricalDataset",
+    "normalize_to_unit",
+    "beta_dataset",
+    "uniform_dataset",
+    "gaussian_dataset",
+    "taxi_dataset",
+    "retirement_dataset",
+    "covid_dataset",
+    "load_dataset",
+    "available_datasets",
+    "PAPER_DATASETS",
+]

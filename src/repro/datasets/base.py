@@ -1,0 +1,185 @@
+"""Dataset containers and normalisation helpers.
+
+The paper normalises every numerical dataset into ``[-1, 1]`` before applying
+LDP perturbation; :func:`normalize_to_unit` performs that affine map and
+:class:`NumericalDataset` keeps both representations together with provenance
+metadata so experiment reports can state what was actually measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.discretization import BucketGrid
+from repro.utils.histogram import normalize_histogram
+
+
+def normalize_to_unit(values: np.ndarray, low: float, high: float) -> np.ndarray:
+    """Affinely map values from ``[low, high]`` into ``[-1, 1]``."""
+    values = np.asarray(values, dtype=float)
+    if high <= low:
+        raise ValueError(f"high must exceed low, got low={low}, high={high}")
+    return 2.0 * (values - low) / (high - low) - 1.0
+
+
+def denormalize_from_unit(values: np.ndarray, low: float, high: float) -> np.ndarray:
+    """Inverse of :func:`normalize_to_unit`."""
+    values = np.asarray(values, dtype=float)
+    if high <= low:
+        raise ValueError(f"high must exceed low, got low={low}, high={high}")
+    return (values + 1.0) / 2.0 * (high - low) + low
+
+
+@dataclass
+class NumericalDataset:
+    """A numerical dataset normalised into ``[-1, 1]``.
+
+    Attributes
+    ----------
+    name:
+        Human-readable dataset name (e.g. ``"Taxi"``).
+    values:
+        Normalised values in ``[-1, 1]``.
+    raw_domain:
+        The original value domain before normalisation.
+    description:
+        What the data represents and how it was generated.
+    """
+
+    name: str
+    values: np.ndarray
+    raw_domain: Tuple[float, float]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=float)
+        if self.values.ndim != 1:
+            raise ValueError(f"values must be one-dimensional, got {self.values.shape}")
+        if self.values.size and (
+            self.values.min() < -1.0 - 1e-9 or self.values.max() > 1.0 + 1e-9
+        ):
+            raise ValueError(
+                f"dataset {self.name!r} values must be normalised into [-1, 1]"
+            )
+        self.values = np.clip(self.values, -1.0, 1.0)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of records."""
+        return int(self.values.size)
+
+    @property
+    def true_mean(self) -> float:
+        """Ground-truth mean of the normalised values (the paper's ``O``)."""
+        return float(self.values.mean())
+
+    @property
+    def true_variance(self) -> float:
+        """Ground-truth variance of the normalised values."""
+        return float(self.values.var())
+
+    def histogram(self, n_buckets: int = 64) -> tuple[np.ndarray, BucketGrid]:
+        """Normalised frequency histogram over ``[-1, 1]`` (Figure 4)."""
+        grid = BucketGrid(-1.0, 1.0, n_buckets)
+        return normalize_histogram(grid.counts(self.values)), grid
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``size`` records with replacement (for smaller experiments)."""
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        if size <= self.n:
+            idx = rng.choice(self.n, size=size, replace=False)
+        else:
+            idx = rng.choice(self.n, size=size, replace=True)
+        return self.values[idx]
+
+    def subset(self, size: int, rng: np.random.Generator) -> "NumericalDataset":
+        """Return a new dataset holding a random subset of the records."""
+        return NumericalDataset(
+            name=self.name,
+            values=self.sample(size, rng),
+            raw_domain=self.raw_domain,
+            description=self.description,
+        )
+
+    def __len__(self) -> int:  # pragma: no cover - trivial
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"NumericalDataset(name={self.name!r}, n={self.n}, "
+            f"mean={self.true_mean:.4f})"
+        )
+
+
+@dataclass
+class CategoricalDataset:
+    """A categorical dataset (category index per record).
+
+    Attributes
+    ----------
+    name:
+        Dataset name.
+    categories:
+        Integer category index per record, in ``[0, n_categories)``.
+    labels:
+        Optional human-readable label per category.
+    """
+
+    name: str
+    categories: np.ndarray
+    labels: Tuple[str, ...] = field(default_factory=tuple)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        self.categories = np.asarray(self.categories, dtype=int)
+        if self.categories.ndim != 1:
+            raise ValueError("categories must be one-dimensional")
+        if self.categories.size and self.categories.min() < 0:
+            raise ValueError("category indices must be non-negative")
+        if self.labels and self.categories.size:
+            if self.categories.max() >= len(self.labels):
+                raise ValueError("labels must cover every category index")
+
+    @property
+    def n(self) -> int:
+        """Number of records."""
+        return int(self.categories.size)
+
+    @property
+    def n_categories(self) -> int:
+        """Number of distinct categories (from labels if given, else data)."""
+        if self.labels:
+            return len(self.labels)
+        return int(self.categories.max()) + 1 if self.n else 0
+
+    @property
+    def true_frequencies(self) -> np.ndarray:
+        """Ground-truth category frequencies."""
+        counts = np.bincount(self.categories, minlength=self.n_categories)
+        return counts / max(1, self.n)
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``size`` records (with replacement if needed)."""
+        if size <= self.n:
+            idx = rng.choice(self.n, size=size, replace=False)
+        else:
+            idx = rng.choice(self.n, size=size, replace=True)
+        return self.categories[idx]
+
+    def __len__(self) -> int:  # pragma: no cover - trivial
+        return self.n
+
+
+__all__ = [
+    "NumericalDataset",
+    "CategoricalDataset",
+    "normalize_to_unit",
+    "denormalize_from_unit",
+]

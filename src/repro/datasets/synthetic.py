@@ -1,0 +1,88 @@
+"""Synthetic numerical datasets.
+
+The paper's two synthetic datasets are drawn from Beta(2, 5) and Beta(5, 2)
+over ``[0, 1]`` (1,000,000 samples each) and then normalised into ``[-1, 1]``.
+Their normalised true means reported in Figure 4 are approximately -0.4286 and
++0.4286 for the ideal distributions (the paper reports the empirical values
+-0.3994 and 0.4136 for its specific draws).
+
+``uniform_dataset`` and ``gaussian_dataset`` are extra generators used by the
+test-suite and the ablation benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import NumericalDataset, normalize_to_unit
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_integer, check_positive
+
+
+def beta_dataset(
+    a: float,
+    b: float,
+    n_samples: int = 100_000,
+    rng: RngLike = None,
+    name: str | None = None,
+) -> NumericalDataset:
+    """Samples from a Beta(a, b) distribution on [0, 1], normalised to [-1, 1]."""
+    check_positive(a, "a")
+    check_positive(b, "b")
+    check_integer(n_samples, "n_samples", minimum=1)
+    rng = ensure_rng(rng)
+    raw = rng.beta(a, b, size=n_samples)
+    values = normalize_to_unit(raw, 0.0, 1.0)
+    return NumericalDataset(
+        name=name or f"Beta({a:g},{b:g})",
+        values=values,
+        raw_domain=(0.0, 1.0),
+        description=(
+            f"{n_samples} samples drawn from a Beta({a:g}, {b:g}) distribution on "
+            "[0, 1], normalised into [-1, 1] (paper Section VI-A)."
+        ),
+    )
+
+
+def uniform_dataset(
+    n_samples: int = 100_000,
+    low: float = -1.0,
+    high: float = 1.0,
+    rng: RngLike = None,
+) -> NumericalDataset:
+    """Uniform samples over ``[low, high] subset of [-1, 1]``."""
+    check_integer(n_samples, "n_samples", minimum=1)
+    if not -1.0 <= low < high <= 1.0:
+        raise ValueError(f"[low, high] must be a sub-interval of [-1, 1], got [{low}, {high}]")
+    rng = ensure_rng(rng)
+    values = rng.uniform(low, high, size=n_samples)
+    return NumericalDataset(
+        name="Uniform",
+        values=values,
+        raw_domain=(low, high),
+        description=f"{n_samples} uniform samples over [{low:g}, {high:g}].",
+    )
+
+
+def gaussian_dataset(
+    n_samples: int = 100_000,
+    mean: float = 0.0,
+    std: float = 0.3,
+    rng: RngLike = None,
+) -> NumericalDataset:
+    """Clipped Gaussian samples in ``[-1, 1]``."""
+    check_integer(n_samples, "n_samples", minimum=1)
+    check_positive(std, "std")
+    rng = ensure_rng(rng)
+    values = np.clip(rng.normal(mean, std, size=n_samples), -1.0, 1.0)
+    return NumericalDataset(
+        name="Gaussian",
+        values=values,
+        raw_domain=(-1.0, 1.0),
+        description=(
+            f"{n_samples} Gaussian samples (mean={mean:g}, std={std:g}) clipped to [-1, 1]."
+        ),
+    )
+
+
+__all__ = ["beta_dataset", "uniform_dataset", "gaussian_dataset"]

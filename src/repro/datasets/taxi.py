@@ -1,0 +1,66 @@
+"""Synthetic stand-in for the NYC 2018-January Taxi pick-up-time dataset.
+
+The paper extracts the pick-up time of day (seconds since midnight, 0-86340)
+from the January 2018 New York taxi trip records (1,048,575 records) and
+normalises it into ``[-1, 1]``; the reported normalised mean is 0.1190
+(Figure 4c), i.e. pick-ups skew slightly towards the afternoon/evening.
+
+We cannot download the Kaggle file offline, so this module synthesises a
+pick-up-time distribution from a mixture of daily-activity components (a small
+overnight tail, a morning rush, a broad midday plateau, and a strong
+evening peak) whose mixture weights are tuned so the normalised mean lands
+close to the paper's 0.1190.  The experiments only depend on the normalised
+distribution's multi-modal shape and mean, so the substitution preserves the
+behaviour being measured (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import NumericalDataset, normalize_to_unit
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_integer
+
+#: seconds in one day minus one minute, matching the paper's 0..86340 range
+SECONDS_IN_DAY = 86_340.0
+
+#: (weight, mean hour, std hours) of each daily-activity component
+_COMPONENTS = (
+    (0.14, 2.0, 2.0),    # overnight trips
+    (0.21, 8.5, 1.5),    # morning rush hour
+    (0.30, 14.0, 3.0),   # midday / afternoon plateau
+    (0.27, 19.0, 2.2),   # evening peak
+    (0.08, 22.5, 1.2),   # late-night activity
+)
+
+
+def taxi_dataset(n_samples: int = 100_000, rng: RngLike = None) -> NumericalDataset:
+    """Synthetic Taxi pick-up-time dataset normalised into ``[-1, 1]``."""
+    check_integer(n_samples, "n_samples", minimum=1)
+    rng = ensure_rng(rng)
+
+    weights = np.array([c[0] for c in _COMPONENTS])
+    weights = weights / weights.sum()
+    means = np.array([c[1] for c in _COMPONENTS]) * 3600.0
+    stds = np.array([c[2] for c in _COMPONENTS]) * 3600.0
+
+    component = rng.choice(len(_COMPONENTS), size=n_samples, p=weights)
+    seconds = rng.normal(means[component], stds[component])
+    # wrap around midnight so overnight components stay realistic, then clip
+    seconds = np.mod(seconds, SECONDS_IN_DAY)
+    values = normalize_to_unit(seconds, 0.0, SECONDS_IN_DAY)
+
+    return NumericalDataset(
+        name="Taxi",
+        values=values,
+        raw_domain=(0.0, SECONDS_IN_DAY),
+        description=(
+            f"{n_samples} synthetic taxi pick-up times (seconds since midnight) drawn "
+            "from a rush-hour mixture tuned to match the paper's normalised mean of "
+            "~0.119 (substitute for the 2018-01 NYC taxi data; see DESIGN.md)."
+        ),
+    )
+
+
+__all__ = ["taxi_dataset", "SECONDS_IN_DAY"]

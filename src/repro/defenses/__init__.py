@@ -1,0 +1,33 @@
+"""Baseline defences the paper compares DAP against.
+
+* :class:`~repro.defenses.ostrich.OstrichDefense` — no defence: average every
+  report and ignore the attackers (the paper's "Ostrich" baseline).
+* :class:`~repro.defenses.trimming.TrimmingDefense` — robust-statistics
+  trimming: drop the largest (or smallest) fraction of reports before
+  averaging.
+* :class:`~repro.defenses.kmeans.KMeansDefense` — the sampling + 2-means
+  defence of Li et al., compared against in Figure 9.
+* :class:`~repro.defenses.boxplot.BoxplotDefense` — classic IQR outlier
+  removal (Section III-A).
+* :class:`~repro.defenses.isolation_forest.IsolationForestDefense` — isolation
+  forest outlier removal (Section III-A), implemented from scratch.
+"""
+
+from repro.defenses.base import Defense, DefenseResult
+from repro.defenses.ostrich import OstrichDefense
+from repro.defenses.trimming import TrimmingDefense
+from repro.defenses.kmeans import KMeansDefense, kmeans_1d
+from repro.defenses.boxplot import BoxplotDefense
+from repro.defenses.isolation_forest import IsolationForestDefense, IsolationForest
+
+__all__ = [
+    "Defense",
+    "DefenseResult",
+    "OstrichDefense",
+    "TrimmingDefense",
+    "KMeansDefense",
+    "kmeans_1d",
+    "BoxplotDefense",
+    "IsolationForestDefense",
+    "IsolationForest",
+]

@@ -1,0 +1,83 @@
+"""Defence interface.
+
+A defence consumes the full set of perturbed reports (normal + poison,
+indistinguishable to the collector) and produces a mean estimate, optionally
+reporting which reports it kept.  Every defence operates on the same inputs as
+the DAP protocol so the evaluation harness can swap them freely.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.ldp.base import NumericalMechanism
+from repro.utils.rng import RngLike
+
+
+@dataclass
+class DefenseResult:
+    """Outcome of running a defence on a batch of reports.
+
+    Attributes
+    ----------
+    estimate:
+        The defended mean estimate (in the normalised input domain).
+    kept_mask:
+        Optional boolean mask of reports that contributed to the estimate
+        (``None`` when the defence does not prune individual reports).
+    metadata:
+        Free-form diagnostics (e.g. the trimming threshold used).
+    """
+
+    estimate: float
+    kept_mask: Optional[np.ndarray] = None
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def n_kept(self) -> Optional[int]:
+        """Number of reports kept, when the defence prunes reports."""
+        if self.kept_mask is None:
+            return None
+        return int(np.count_nonzero(self.kept_mask))
+
+
+class Defense(abc.ABC):
+    """Base class for mean-estimation defences."""
+
+    #: short name used in experiment tables
+    name: str = "defense"
+
+    @abc.abstractmethod
+    def estimate_mean(
+        self,
+        reports: np.ndarray,
+        mechanism: NumericalMechanism,
+        rng: RngLike = None,
+    ) -> DefenseResult:
+        """Estimate the normal users' mean from perturbed reports."""
+
+    def __call__(
+        self,
+        reports: np.ndarray,
+        mechanism: NumericalMechanism,
+        rng: RngLike = None,
+    ) -> float:
+        """Convenience: return just the estimate."""
+        return self.estimate_mean(reports, mechanism, rng).estimate
+
+    @staticmethod
+    def _validate_reports(reports: np.ndarray) -> np.ndarray:
+        reports = np.asarray(reports, dtype=float).ravel()
+        if reports.size == 0:
+            raise ValueError("cannot run a defence on zero reports")
+        return reports
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+__all__ = ["Defense", "DefenseResult"]

@@ -1,0 +1,55 @@
+"""Boxplot (IQR) outlier-removal defence (Section III-A related techniques).
+
+Reports outside ``[Q1 - k * IQR, Q3 + k * IQR]`` are discarded before
+averaging — the "simple more general boxplot method" of Schwertman et al. the
+paper cites as an existing detection technique.  Because PM's perturbed values
+legitimately span the whole enlarged output domain, boxplot removal also drops
+many normal reports, which is exactly the weakness the paper's collective
+approach avoids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.defenses.base import Defense, DefenseResult
+from repro.ldp.base import NumericalMechanism
+from repro.utils.rng import RngLike
+from repro.utils.validation import check_positive
+
+
+class BoxplotDefense(Defense):
+    """IQR-based outlier removal followed by averaging."""
+
+    name = "Boxplot"
+
+    def __init__(self, whisker: float = 1.5) -> None:
+        self.whisker = check_positive(whisker, "whisker")
+
+    def estimate_mean(
+        self,
+        reports: np.ndarray,
+        mechanism: NumericalMechanism,
+        rng: RngLike = None,
+    ) -> DefenseResult:
+        reports = self._validate_reports(reports)
+        q1, q3 = np.quantile(reports, [0.25, 0.75])
+        iqr = q3 - q1
+        lower = q1 - self.whisker * iqr
+        upper = q3 + self.whisker * iqr
+        keep = (reports >= lower) & (reports <= upper)
+        kept = reports[keep]
+        if kept.size == 0:
+            kept = reports
+            keep = np.ones(reports.size, dtype=bool)
+        estimate = mechanism.estimate_mean(kept)
+        low, high = mechanism.input_domain
+        estimate = float(np.clip(estimate, low, high))
+        return DefenseResult(
+            estimate=estimate,
+            kept_mask=keep,
+            metadata={"lower": float(lower), "upper": float(upper)},
+        )
+
+
+__all__ = ["BoxplotDefense"]

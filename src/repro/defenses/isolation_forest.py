@@ -1,0 +1,160 @@
+"""Isolation-forest outlier-removal defence (Section III-A related techniques).
+
+A from-scratch 1-D isolation forest: each tree recursively splits the value
+range at uniform random cut points; values isolated after few splits are
+anomalous.  The anomaly score follows Liu et al.:
+
+``score(x) = 2 ** (-E[h(x)] / c(n))``
+
+where ``h(x)`` is the path length and ``c(n)`` the average path length of an
+unsuccessful BST search.  Reports whose score exceeds a threshold are removed
+before averaging.
+
+As with the boxplot defence, isolation forests struggle against poison values
+hidden inside the legitimate (enlarged) output domain — they are included as
+the "existing detection technique" comparison point the paper mentions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.defenses.base import Defense, DefenseResult
+from repro.ldp.base import NumericalMechanism
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_fraction, check_integer
+
+
+def _average_path_length(n: int) -> float:
+    """``c(n)`` — average unsuccessful-search path length in a BST of size n."""
+    if n <= 1:
+        return 0.0
+    harmonic = np.log(n - 1) + np.euler_gamma
+    return 2.0 * harmonic - 2.0 * (n - 1) / n
+
+
+@dataclass
+class _TreeNode:
+    """One node of an isolation tree (leaf when ``split`` is ``None``)."""
+
+    size: int
+    split: Optional[float] = None
+    left: Optional["_TreeNode"] = None
+    right: Optional["_TreeNode"] = None
+
+
+def _build_tree(
+    values: np.ndarray, depth: int, max_depth: int, rng: np.random.Generator
+) -> _TreeNode:
+    if depth >= max_depth or values.size <= 1 or values.min() == values.max():
+        return _TreeNode(size=values.size)
+    split = rng.uniform(values.min(), values.max())
+    left_mask = values < split
+    return _TreeNode(
+        size=values.size,
+        split=split,
+        left=_build_tree(values[left_mask], depth + 1, max_depth, rng),
+        right=_build_tree(values[~left_mask], depth + 1, max_depth, rng),
+    )
+
+
+def _path_length(node: _TreeNode, value: float, depth: int = 0) -> float:
+    if node.split is None:
+        return depth + _average_path_length(node.size)
+    if value < node.split:
+        return _path_length(node.left, value, depth + 1)
+    return _path_length(node.right, value, depth + 1)
+
+
+class IsolationForest:
+    """A minimal 1-D isolation forest."""
+
+    def __init__(
+        self,
+        n_trees: int = 50,
+        subsample_size: int = 256,
+        rng: RngLike = None,
+    ) -> None:
+        self.n_trees = check_integer(n_trees, "n_trees", minimum=1)
+        self.subsample_size = check_integer(subsample_size, "subsample_size", minimum=2)
+        self._rng = ensure_rng(rng)
+        self._trees: List[_TreeNode] = []
+        self._sample_size = 0
+
+    def fit(self, values: np.ndarray) -> "IsolationForest":
+        """Build the forest on ``values``."""
+        values = np.asarray(values, dtype=float).ravel()
+        if values.size == 0:
+            raise ValueError("IsolationForest requires at least one value")
+        self._sample_size = min(self.subsample_size, values.size)
+        max_depth = int(np.ceil(np.log2(max(2, self._sample_size))))
+        self._trees = []
+        for _ in range(self.n_trees):
+            idx = self._rng.choice(values.size, size=self._sample_size, replace=False)
+            self._trees.append(_build_tree(values[idx], 0, max_depth, self._rng))
+        return self
+
+    def scores(self, values: np.ndarray) -> np.ndarray:
+        """Anomaly scores in (0, 1); higher means more anomalous."""
+        if not self._trees:
+            raise RuntimeError("IsolationForest must be fit before scoring")
+        values = np.asarray(values, dtype=float).ravel()
+        c_n = _average_path_length(self._sample_size)
+        if c_n <= 0:
+            return np.full(values.size, 0.5)
+        scores = np.empty(values.size)
+        for i, value in enumerate(values):
+            mean_path = float(
+                np.mean([_path_length(tree, value) for tree in self._trees])
+            )
+            scores[i] = 2.0 ** (-mean_path / c_n)
+        return scores
+
+
+class IsolationForestDefense(Defense):
+    """Remove reports flagged anomalous by an isolation forest, then average."""
+
+    name = "IsolationForest"
+
+    def __init__(
+        self,
+        contamination: float = 0.1,
+        n_trees: int = 50,
+        subsample_size: int = 256,
+    ) -> None:
+        self.contamination = check_fraction(contamination, "contamination", inclusive=False)
+        self.n_trees = n_trees
+        self.subsample_size = subsample_size
+
+    def estimate_mean(
+        self,
+        reports: np.ndarray,
+        mechanism: NumericalMechanism,
+        rng: RngLike = None,
+    ) -> DefenseResult:
+        reports = self._validate_reports(reports)
+        rng = ensure_rng(rng)
+        forest = IsolationForest(
+            n_trees=self.n_trees, subsample_size=self.subsample_size, rng=rng
+        ).fit(reports)
+        scores = forest.scores(reports)
+        threshold = np.quantile(scores, 1.0 - self.contamination)
+        keep = scores < threshold
+        kept = reports[keep]
+        if kept.size == 0:
+            kept = reports
+            keep = np.ones(reports.size, dtype=bool)
+        estimate = mechanism.estimate_mean(kept)
+        low, high = mechanism.input_domain
+        estimate = float(np.clip(estimate, low, high))
+        return DefenseResult(
+            estimate=estimate,
+            kept_mask=keep,
+            metadata={"score_threshold": float(threshold)},
+        )
+
+
+__all__ = ["IsolationForest", "IsolationForestDefense"]

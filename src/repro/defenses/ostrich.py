@@ -1,0 +1,45 @@
+"""Ostrich baseline: ignore the attackers entirely.
+
+Averages every report (clipped to the input domain, as any unbiased PM-style
+collector would do for the final estimate) and pretends Byzantine users do not
+exist.  This is the "Ostrich" scheme of Figures 6-10.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.defenses.base import Defense, DefenseResult
+from repro.ldp.base import NumericalMechanism
+from repro.utils.rng import RngLike
+
+
+class OstrichDefense(Defense):
+    """No defence: the plain LDP mean estimator applied to all reports."""
+
+    name = "Ostrich"
+
+    def __init__(self, clip_to_input_domain: bool = True) -> None:
+        #: whether to clip the final estimate into the input domain — a free
+        #: post-processing step every realistic collector applies.
+        self.clip_to_input_domain = clip_to_input_domain
+
+    def estimate_mean(
+        self,
+        reports: np.ndarray,
+        mechanism: NumericalMechanism,
+        rng: RngLike = None,
+    ) -> DefenseResult:
+        reports = self._validate_reports(reports)
+        estimate = mechanism.estimate_mean(reports)
+        if self.clip_to_input_domain:
+            low, high = mechanism.input_domain
+            estimate = float(np.clip(estimate, low, high))
+        return DefenseResult(
+            estimate=estimate,
+            kept_mask=np.ones(reports.size, dtype=bool),
+            metadata={"n_reports": int(reports.size)},
+        )
+
+
+__all__ = ["OstrichDefense"]

@@ -1,0 +1,19 @@
+"""Evaluation metrics used throughout the paper's experiments."""
+
+from repro.estimators.metrics import (
+    squared_error,
+    mean_squared_error,
+    absolute_error,
+    wasserstein_distance_histograms,
+    wasserstein_distance_samples,
+    frequency_mse,
+)
+
+__all__ = [
+    "squared_error",
+    "mean_squared_error",
+    "absolute_error",
+    "wasserstein_distance_histograms",
+    "wasserstein_distance_samples",
+    "frequency_mse",
+]

@@ -1,0 +1,96 @@
+"""Metrics: MSE for mean/frequency estimation, Wasserstein for distributions.
+
+These are the three quantities the paper's evaluation reports:
+
+* **MSE** of the mean estimate over repeated trials (Figures 6-10);
+* **MSE** of frequency vectors for the categorical extension (Figure 9 c/d);
+* the 1-D **Wasserstein distance** between the reconstructed and the true
+  value distribution (Figure 8a), computed as the L1 distance between CDFs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.utils.discretization import BucketGrid
+from repro.utils.histogram import normalize_histogram
+
+
+def squared_error(estimate: float, truth: float) -> float:
+    """``(estimate - truth)^2`` for a single trial."""
+    return float((float(estimate) - float(truth)) ** 2)
+
+
+def absolute_error(estimate: float, truth: float) -> float:
+    """``|estimate - truth|`` for a single trial."""
+    return float(abs(float(estimate) - float(truth)))
+
+
+def mean_squared_error(estimates: Iterable[float], truth: float) -> float:
+    """MSE of repeated estimates of the same ground truth."""
+    estimates = np.asarray(list(estimates), dtype=float)
+    if estimates.size == 0:
+        raise ValueError("mean_squared_error requires at least one estimate")
+    return float(np.mean((estimates - float(truth)) ** 2))
+
+
+def frequency_mse(estimated: Sequence[float], truth: Sequence[float]) -> float:
+    """Per-category MSE between two frequency vectors (Figure 9 c/d)."""
+    estimated = np.asarray(list(estimated), dtype=float)
+    truth = np.asarray(list(truth), dtype=float)
+    if estimated.shape != truth.shape:
+        raise ValueError(
+            f"frequency vectors must align, got {estimated.shape} vs {truth.shape}"
+        )
+    if estimated.size == 0:
+        raise ValueError("frequency vectors must be non-empty")
+    return float(np.mean((estimated - truth) ** 2))
+
+
+def wasserstein_distance_histograms(
+    histogram_a: Sequence[float],
+    histogram_b: Sequence[float],
+    grid: BucketGrid | None = None,
+) -> float:
+    """1-D Wasserstein-1 distance between two histograms on the same grid.
+
+    Computed as ``sum_i |CDF_a(i) - CDF_b(i)| * bucket_width``.  When ``grid``
+    is omitted a unit-width grid is assumed (distance in "bucket units").
+    """
+    a = normalize_histogram(np.asarray(list(histogram_a), dtype=float))
+    b = normalize_histogram(np.asarray(list(histogram_b), dtype=float))
+    if a.shape != b.shape:
+        raise ValueError(f"histograms must align, got {a.shape} vs {b.shape}")
+    width = grid.width if grid is not None else 1.0
+    cdf_a = np.cumsum(a)
+    cdf_b = np.cumsum(b)
+    return float(np.sum(np.abs(cdf_a - cdf_b)) * width)
+
+
+def wasserstein_distance_samples(
+    samples_a: Sequence[float], samples_b: Sequence[float]
+) -> float:
+    """1-D Wasserstein-1 distance between two empirical samples."""
+    a = np.sort(np.asarray(list(samples_a), dtype=float))
+    b = np.sort(np.asarray(list(samples_b), dtype=float))
+    if a.size == 0 or b.size == 0:
+        raise ValueError("both samples must be non-empty")
+    # evaluate both quantile functions on a common grid of probabilities
+    probabilities = np.linspace(0.0, 1.0, max(a.size, b.size), endpoint=False) + 0.5 / max(
+        a.size, b.size
+    )
+    quantiles_a = np.quantile(a, probabilities)
+    quantiles_b = np.quantile(b, probabilities)
+    return float(np.mean(np.abs(quantiles_a - quantiles_b)))
+
+
+__all__ = [
+    "squared_error",
+    "absolute_error",
+    "mean_squared_error",
+    "frequency_mse",
+    "wasserstein_distance_histograms",
+    "wasserstein_distance_samples",
+]

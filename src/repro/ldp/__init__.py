@@ -1,0 +1,49 @@
+"""Local Differential Privacy mechanisms.
+
+This subpackage implements every LDP primitive the paper relies on:
+
+* :class:`~repro.ldp.piecewise.PiecewiseMechanism` — the paper's default
+  numerical perturbation mechanism (Algorithm 1).
+* :class:`~repro.ldp.square_wave.SquareWaveMechanism` with
+  :func:`~repro.ldp.ems.expectation_maximization_smoothing` — the alternative
+  mechanism of Section V-D / Figure 8.
+* :class:`~repro.ldp.duchi.DuchiMechanism`,
+  :class:`~repro.ldp.hybrid.HybridMechanism`,
+  :class:`~repro.ldp.laplace.LaplaceMechanism` — classic numerical baselines.
+* :class:`~repro.ldp.krr.KRandomizedResponse`,
+  :class:`~repro.ldp.oue.OptimizedUnaryEncoding`,
+  :class:`~repro.ldp.olh.OptimizedLocalHashing` — categorical frequency oracles
+  used by the frequency-estimation extension (Figure 9 c/d).
+* :class:`~repro.ldp.budget.PrivacyBudget` and composition helpers.
+"""
+
+from repro.ldp.base import NumericalMechanism, CategoricalMechanism, MechanismError
+from repro.ldp.budget import PrivacyBudget, sequential_composition, parallel_composition
+from repro.ldp.piecewise import PiecewiseMechanism
+from repro.ldp.duchi import DuchiMechanism
+from repro.ldp.laplace import LaplaceMechanism
+from repro.ldp.hybrid import HybridMechanism
+from repro.ldp.square_wave import SquareWaveMechanism
+from repro.ldp.ems import expectation_maximization_smoothing, em_reconstruct
+from repro.ldp.krr import KRandomizedResponse
+from repro.ldp.oue import OptimizedUnaryEncoding
+from repro.ldp.olh import OptimizedLocalHashing
+
+__all__ = [
+    "NumericalMechanism",
+    "CategoricalMechanism",
+    "MechanismError",
+    "PrivacyBudget",
+    "sequential_composition",
+    "parallel_composition",
+    "PiecewiseMechanism",
+    "DuchiMechanism",
+    "LaplaceMechanism",
+    "HybridMechanism",
+    "SquareWaveMechanism",
+    "expectation_maximization_smoothing",
+    "em_reconstruct",
+    "KRandomizedResponse",
+    "OptimizedUnaryEncoding",
+    "OptimizedLocalHashing",
+]

@@ -1,0 +1,151 @@
+"""Privacy-budget accounting.
+
+The paper manipulates privacy budgets in two places:
+
+* the **baseline protocol** (Section IV) splits a user's budget into
+  ``epsilon_alpha + epsilon_beta = epsilon`` and perturbs twice (sequential
+  composition);
+* the **DAP protocol** (Section V) assigns each group a budget from the ladder
+  ``{epsilon, epsilon/2, ..., epsilon_0}`` and lets users with a smaller group
+  budget report multiple times until their total budget ``epsilon`` is used up
+  (again sequential composition within a user, parallel composition across
+  disjoint groups).
+
+:class:`PrivacyBudget` is a tiny ledger that enforces these rules so protocol
+code cannot silently overspend a user's budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class PrivacyBudget:
+    """A spendable epsilon ledger for one user (or one logical entity).
+
+    Attributes
+    ----------
+    total:
+        Total budget available.
+    spent:
+        Budget consumed so far by :meth:`spend`.
+    """
+
+    total: float
+    spent: float = 0.0
+    _log: List[float] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive(self.total, "total")
+        if self.spent < 0 or self.spent > self.total + 1e-12:
+            raise ValueError(
+                f"spent must lie in [0, total], got spent={self.spent}, total={self.total}"
+            )
+
+    @property
+    def remaining(self) -> float:
+        """Budget still available."""
+        return max(0.0, self.total - self.spent)
+
+    @property
+    def history(self) -> List[float]:
+        """Chronological list of spends."""
+        return list(self._log)
+
+    def can_spend(self, epsilon: float) -> bool:
+        """Whether ``epsilon`` more budget can be spent without overdrawing."""
+        return epsilon <= self.remaining + 1e-12
+
+    def spend(self, epsilon: float) -> float:
+        """Consume ``epsilon`` from the ledger and return it.
+
+        Raises
+        ------
+        ValueError
+            If the spend would exceed the total budget.
+        """
+        epsilon = check_positive(epsilon, "epsilon")
+        if not self.can_spend(epsilon):
+            raise ValueError(
+                f"budget exhausted: tried to spend {epsilon:g} with only "
+                f"{self.remaining:g} of {self.total:g} remaining"
+            )
+        self.spent += epsilon
+        self._log.append(epsilon)
+        return epsilon
+
+    def split(self, fractions: Iterable[float]) -> List[float]:
+        """Split the *remaining* budget according to ``fractions`` (sum to 1).
+
+        Used by the baseline protocol: ``split([alpha, 1 - alpha])`` yields
+        ``(epsilon_alpha, epsilon_beta)``.
+        """
+        fractions = [float(f) for f in fractions]
+        if any(f <= 0 for f in fractions):
+            raise ValueError("all fractions must be positive")
+        total_frac = sum(fractions)
+        if abs(total_frac - 1.0) > 1e-9:
+            raise ValueError(f"fractions must sum to 1, got {total_frac:g}")
+        remaining = self.remaining
+        return [self.spend(remaining * f) for f in fractions]
+
+    def n_reports(self, epsilon_per_report: float) -> int:
+        """How many reports at ``epsilon_per_report`` the remaining budget buys.
+
+        This is the DAP rule for users assigned to a small-epsilon group: they
+        report ``epsilon / epsilon_t`` times (footnote 1 / Section V-A).
+        """
+        epsilon_per_report = check_positive(epsilon_per_report, "epsilon_per_report")
+        return int(round(self.remaining / epsilon_per_report + 1e-9))
+
+
+def sequential_composition(epsilons: Iterable[float]) -> float:
+    """Total privacy cost of running mechanisms sequentially on the same data."""
+    epsilons = [check_positive(e, "epsilon") for e in epsilons]
+    return float(sum(epsilons))
+
+
+def parallel_composition(epsilons: Iterable[float]) -> float:
+    """Privacy cost when mechanisms run on *disjoint* user groups.
+
+    The DAP grouping satisfies epsilon-LDP via this theorem: each user's data
+    only enters one group, so the overall guarantee is the maximum group
+    budget (which DAP sets equal to the users' budget epsilon).
+    """
+    epsilons = [check_positive(e, "epsilon") for e in epsilons]
+    if not epsilons:
+        raise ValueError("parallel_composition requires at least one epsilon")
+    return float(max(epsilons))
+
+
+def dap_budget_ladder(epsilon: float, epsilon_min: float) -> List[float]:
+    """Group budgets ``{epsilon, epsilon/2, ..., epsilon_min}`` used by DAP.
+
+    The number of rungs is ``h = ceil(log2(epsilon / epsilon_min)) + 1``
+    (Section V-A).  ``epsilon / epsilon_min`` does not have to be a power of
+    two; the last rung is clamped to ``epsilon_min``.
+    """
+    import math
+
+    epsilon = check_positive(epsilon, "epsilon")
+    epsilon_min = check_positive(epsilon_min, "epsilon_min")
+    if epsilon_min > epsilon:
+        raise ValueError(
+            f"epsilon_min ({epsilon_min:g}) must not exceed epsilon ({epsilon:g})"
+        )
+    h = int(math.ceil(math.log2(epsilon / epsilon_min))) + 1 if epsilon_min < epsilon else 1
+    ladder = [epsilon / (2**t) for t in range(h)]
+    ladder[-1] = max(ladder[-1], epsilon_min)
+    return ladder
+
+
+__all__ = [
+    "PrivacyBudget",
+    "sequential_composition",
+    "parallel_composition",
+    "dap_budget_ladder",
+]

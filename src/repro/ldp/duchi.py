@@ -1,0 +1,58 @@
+"""Duchi et al.'s one-bit mechanism for numerical mean estimation.
+
+Each user reports one of two values ``+-(e^eps + 1)/(e^eps - 1)``, chosen with
+a probability linear in the input, so that the report is an unbiased estimator
+of the input.  Included as the classical mean-estimation baseline referenced in
+the related-work section and as a building block of the Hybrid Mechanism.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.ldp.base import NumericalMechanism
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class DuchiMechanism(NumericalMechanism):
+    """Duchi's binary mechanism over ``[-1, 1]``."""
+
+    def __init__(self, epsilon: float) -> None:
+        super().__init__(epsilon)
+        exp_eps = math.exp(self.epsilon)
+        #: magnitude of the two possible outputs
+        self.magnitude = (exp_eps + 1.0) / (exp_eps - 1.0)
+        self._exp_eps = exp_eps
+
+    @property
+    def output_domain(self) -> Tuple[float, float]:
+        return (-self.magnitude, self.magnitude)
+
+    def positive_probability(self, values: np.ndarray) -> np.ndarray:
+        """Probability of reporting ``+magnitude`` for each input value."""
+        values = np.asarray(values, dtype=float)
+        exp_eps = self._exp_eps
+        return ((exp_eps - 1.0) * values + exp_eps + 1.0) / (2.0 * exp_eps + 2.0)
+
+    def perturb(self, values: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        rng = ensure_rng(rng)
+        values = self._validate_inputs(values)
+        prob_pos = self.positive_probability(values)
+        positive = rng.random(values.size) < prob_pos.ravel()
+        out = np.where(positive, self.magnitude, -self.magnitude)
+        return out.reshape(values.shape)
+
+    def variance(self, value: float) -> float:
+        """Per-report variance for input ``value``."""
+        # E[v'^2] = magnitude^2 always; Var = magnitude^2 - value^2.
+        return self.magnitude**2 - float(value) ** 2
+
+    def worst_case_variance(self) -> float:
+        """Worst-case variance, attained at ``v = 0``."""
+        return self.variance(0.0)
+
+
+__all__ = ["DuchiMechanism"]

@@ -1,0 +1,234 @@
+"""Generic Expectation-Maximisation reconstruction (EM and EMS).
+
+Both the Square Wave estimator (EMS, Li et al.) and the paper's EMF family are
+instances of the same computation: given
+
+* a column-stochastic *transition matrix* ``A`` of shape ``(d', K)`` where
+  ``A[i, k] = Pr[report falls in output bucket i | latent component k]``, and
+* observed output-bucket counts ``c`` of length ``d'``,
+
+find the latent mixture weights ``F`` (length ``K``, summing to one) that
+maximise the log-likelihood ``sum_i c_i * log((A @ F)_i)``.
+
+The EM update is
+
+* E-step:  ``P_k = F_k * sum_i c_i * A[i, k] / (A @ F)_i``
+* M-step:  ``F_k = P_k / sum_j P_j``
+
+EMF* and CEMF* only change the M-step (they renormalise the normal-user and
+poison blocks separately), so :func:`em_reconstruct` accepts an optional
+``m_step`` callback.  EMS adds a smoothing pass over the reconstructed
+histogram after each M-step (binomial kernel ``[1, 2, 1] / 4``), which is what
+``expectation_maximization_smoothing`` provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+MStep = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class EMResult:
+    """Outcome of an EM reconstruction.
+
+    Attributes
+    ----------
+    weights:
+        Final latent mixture weights (length ``K``).
+    log_likelihood:
+        Log-likelihood at the final iterate.
+    n_iterations:
+        Number of EM iterations performed.
+    converged:
+        Whether the tolerance was reached before ``max_iter``.
+    """
+
+    weights: np.ndarray
+    log_likelihood: float
+    n_iterations: int
+    converged: bool
+
+
+def _log_likelihood(transform: np.ndarray, counts: np.ndarray, weights: np.ndarray) -> float:
+    mixture = transform @ weights
+    mask = counts > 0
+    safe = np.clip(mixture[mask], 1e-300, None)
+    return float(np.dot(counts[mask], np.log(safe)))
+
+
+def em_reconstruct(
+    transform: np.ndarray,
+    counts: np.ndarray,
+    initial: Optional[np.ndarray] = None,
+    max_iter: int = 10_000,
+    tol: float = 1e-6,
+    m_step: Optional[MStep] = None,
+    fixed_zero: Optional[np.ndarray] = None,
+) -> EMResult:
+    """Run EM on a latent-mixture reconstruction problem.
+
+    Parameters
+    ----------
+    transform:
+        ``(d', K)`` transition matrix; every column should sum to (at most) 1.
+    counts:
+        Observed counts per output bucket, length ``d'``.
+    initial:
+        Optional initial weights; defaults to uniform over the ``K`` components.
+    max_iter, tol:
+        Convergence is declared when the absolute log-likelihood improvement
+        drops below ``tol``.
+    m_step:
+        Optional replacement for the default "normalise to one" M-step.  The
+        callback receives the un-normalised responsibilities ``P`` and must
+        return the next weight vector.
+    fixed_zero:
+        Optional boolean mask of components forced to zero throughout (used by
+        CEMF* bucket suppression).
+
+    Returns
+    -------
+    EMResult
+    """
+    transform = np.asarray(transform, dtype=float)
+    counts = np.asarray(counts, dtype=float)
+    if transform.ndim != 2:
+        raise ValueError(f"transform must be 2-D, got shape {transform.shape}")
+    d_out, n_components = transform.shape
+    if counts.shape != (d_out,):
+        raise ValueError(
+            f"counts must have length {d_out} (transform rows), got {counts.shape}"
+        )
+    if np.any(counts < 0):
+        raise ValueError("counts must be non-negative")
+    if counts.sum() == 0:
+        raise ValueError("counts must contain at least one observation")
+
+    if initial is None:
+        weights = np.full(n_components, 1.0 / n_components)
+    else:
+        weights = np.asarray(initial, dtype=float).copy()
+        if weights.shape != (n_components,):
+            raise ValueError(
+                f"initial weights must have length {n_components}, got {weights.shape}"
+            )
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("initial weights must have positive mass")
+        weights = weights / total
+
+    zero_mask = None
+    if fixed_zero is not None:
+        zero_mask = np.asarray(fixed_zero, dtype=bool)
+        if zero_mask.shape != (n_components,):
+            raise ValueError("fixed_zero mask must align with the number of components")
+        weights = weights.copy()
+        weights[zero_mask] = 0.0
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("fixed_zero mask suppresses every component")
+        weights /= total
+
+    prev_ll = _log_likelihood(transform, counts, weights)
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iter + 1):
+        mixture = transform @ weights
+        mixture = np.clip(mixture, 1e-300, None)
+        # responsibilities aggregated over output buckets
+        responsibilities = weights * (transform.T @ (counts / mixture))
+        if zero_mask is not None:
+            responsibilities[zero_mask] = 0.0
+        if m_step is None:
+            total = responsibilities.sum()
+            if total <= 0:
+                break
+            weights = responsibilities / total
+        else:
+            weights = np.asarray(m_step(responsibilities), dtype=float)
+            if zero_mask is not None:
+                weights = weights.copy()
+                weights[zero_mask] = 0.0
+        ll = _log_likelihood(transform, counts, weights)
+        if abs(ll - prev_ll) < tol:
+            prev_ll = ll
+            converged = True
+            break
+        prev_ll = ll
+
+    return EMResult(
+        weights=weights,
+        log_likelihood=prev_ll,
+        n_iterations=iteration,
+        converged=converged,
+    )
+
+
+def smooth_histogram(histogram: np.ndarray, passes: int = 1) -> np.ndarray:
+    """Apply the EMS binomial smoothing kernel ``[1, 2, 1] / 4``.
+
+    Edge buckets use the truncated kernel re-normalised over the in-range
+    entries, matching Li et al.'s implementation.
+    """
+    histogram = np.asarray(histogram, dtype=float)
+    if histogram.size < 3 or passes <= 0:
+        return histogram.copy()
+    out = histogram.copy()
+    for _ in range(passes):
+        padded = np.empty(out.size + 2)
+        padded[1:-1] = out
+        padded[0] = out[0]
+        padded[-1] = out[-1]
+        smoothed = (padded[:-2] + 2.0 * padded[1:-1] + padded[2:]) / 4.0
+        total = smoothed.sum()
+        if total > 0:
+            smoothed *= out.sum() / total
+        out = smoothed
+    return out
+
+
+def expectation_maximization_smoothing(
+    transform: np.ndarray,
+    counts: np.ndarray,
+    smoothing: bool = True,
+    max_iter: int = 1000,
+    tol: float = 1e-6,
+) -> np.ndarray:
+    """EMS reconstruction used by the Square Wave estimator.
+
+    Runs EM with a smoothing pass folded into every M-step and returns the
+    normalised reconstructed histogram.
+    """
+
+    def smoothed_m_step(responsibilities: np.ndarray) -> np.ndarray:
+        total = responsibilities.sum()
+        if total <= 0:
+            return np.full_like(responsibilities, 1.0 / responsibilities.size)
+        weights = responsibilities / total
+        if smoothing:
+            weights = smooth_histogram(weights)
+            weights = np.clip(weights, 0.0, None)
+            weights /= weights.sum()
+        return weights
+
+    result = em_reconstruct(
+        transform, counts, max_iter=max_iter, tol=tol, m_step=smoothed_m_step
+    )
+    weights = np.clip(result.weights, 0.0, None)
+    total = weights.sum()
+    if total <= 0:
+        return np.full_like(weights, 1.0 / weights.size)
+    return weights / total
+
+
+__all__ = [
+    "EMResult",
+    "em_reconstruct",
+    "smooth_histogram",
+    "expectation_maximization_smoothing",
+]

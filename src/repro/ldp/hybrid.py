@@ -1,0 +1,72 @@
+"""Hybrid Mechanism (HM) of Wang et al.
+
+Combines the Piecewise Mechanism and Duchi's mechanism: each report uses PM
+with probability ``alpha`` and Duchi otherwise, where ``alpha`` is chosen to
+minimise the worst-case variance.  Wang et al. show the optimal mixing is
+
+* ``alpha = 1 - e^{-epsilon/2}`` when ``epsilon > epsilon* ~= 0.61``,
+* ``alpha = 0`` (pure Duchi) otherwise.
+
+Included for completeness of the mean-estimation substrate; the DAP protocol
+itself is mechanism-agnostic and can be instantiated on top of HM as well.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.ldp.base import NumericalMechanism
+from repro.ldp.duchi import DuchiMechanism
+from repro.ldp.piecewise import PiecewiseMechanism
+from repro.utils.rng import RngLike, ensure_rng
+
+#: threshold above which mixing in PM reduces worst-case variance
+EPSILON_STAR = 0.61
+
+
+class HybridMechanism(NumericalMechanism):
+    """Hybrid of :class:`PiecewiseMechanism` and :class:`DuchiMechanism`."""
+
+    def __init__(self, epsilon: float) -> None:
+        super().__init__(epsilon)
+        self.piecewise = PiecewiseMechanism(epsilon)
+        self.duchi = DuchiMechanism(epsilon)
+        if self.epsilon > EPSILON_STAR:
+            self.alpha = 1.0 - math.exp(-self.epsilon / 2.0)
+        else:
+            self.alpha = 0.0
+
+    @property
+    def output_domain(self) -> Tuple[float, float]:
+        low = min(self.piecewise.output_domain[0], self.duchi.output_domain[0])
+        high = max(self.piecewise.output_domain[1], self.duchi.output_domain[1])
+        return (low, high)
+
+    def perturb(self, values: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        rng = ensure_rng(rng)
+        values = self._validate_inputs(values)
+        use_pm = rng.random(values.size) < self.alpha
+        out = np.empty(values.size, dtype=float)
+        flat = values.ravel()
+        if use_pm.any():
+            out[use_pm] = self.piecewise.perturb(flat[use_pm], rng)
+        if (~use_pm).any():
+            out[~use_pm] = self.duchi.perturb(flat[~use_pm], rng)
+        return out.reshape(values.shape)
+
+    def variance(self, value: float) -> float:
+        """Per-report variance of the mixture for input ``value``."""
+        # Var = alpha * Var_PM + (1 - alpha) * Var_Duchi for an unbiased mixture
+        # of two unbiased estimators with the same mean.
+        return self.alpha * self.piecewise.variance(value) + (
+            1.0 - self.alpha
+        ) * self.duchi.variance(value)
+
+    def worst_case_variance(self) -> float:
+        return max(self.variance(0.0), self.variance(1.0))
+
+
+__all__ = ["HybridMechanism", "EPSILON_STAR"]

@@ -1,0 +1,42 @@
+"""Experiment harness: user populations, estimation schemes, trials and sweeps.
+
+The harness glues the substrates together so each paper figure reduces to a
+handful of calls:
+
+* :mod:`repro.simulation.population` — build (normal, Byzantine) user splits
+  from a dataset and an attack proportion;
+* :mod:`repro.simulation.schemes` — a uniform ``Scheme`` interface wrapping
+  the three DAP variants and every baseline defence;
+* :mod:`repro.simulation.runner` — run repeated trials and compute MSE;
+* :mod:`repro.simulation.sweep` — sweep parameters (epsilon, gamma, poison
+  range, ...) and collect tidy result records.
+"""
+
+from repro.simulation.population import Population, build_population
+from repro.simulation.schemes import (
+    Scheme,
+    DAPScheme,
+    SingleRoundScheme,
+    BaselineProtocolScheme,
+    make_scheme,
+    PAPER_SCHEMES,
+)
+from repro.simulation.runner import TrialResult, run_trials, evaluate_schemes
+from repro.simulation.sweep import SweepRecord, sweep, records_to_table
+
+__all__ = [
+    "Population",
+    "build_population",
+    "Scheme",
+    "DAPScheme",
+    "SingleRoundScheme",
+    "BaselineProtocolScheme",
+    "make_scheme",
+    "PAPER_SCHEMES",
+    "TrialResult",
+    "run_trials",
+    "evaluate_schemes",
+    "SweepRecord",
+    "sweep",
+    "records_to_table",
+]

@@ -1,0 +1,140 @@
+"""Parameter sweeps producing tidy result records.
+
+Every figure in the paper is a sweep over one or two parameters (epsilon,
+gamma, poison range, poison distribution, evasive fraction, ...) with the MSE
+of several schemes measured at each point.  :func:`sweep` runs such a sweep
+from a declarative list of points and returns flat :class:`SweepRecord` rows
+that the experiment drivers format into the paper's tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
+
+from repro.attacks.base import Attack
+from repro.datasets.base import NumericalDataset
+from repro.simulation.runner import evaluate_schemes
+from repro.simulation.schemes import Scheme
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class SweepRecord:
+    """One (sweep point, scheme) measurement.
+
+    Attributes
+    ----------
+    point:
+        The sweep point's parameters (e.g. ``{"epsilon": 0.5, "range": "[C/2,C]"}``).
+    scheme:
+        Scheme name.
+    mse:
+        Mean squared error at this point.
+    bias:
+        Mean signed error at this point.
+    n_trials:
+        Number of trials behind the measurement.
+    """
+
+    point: Dict[str, Any]
+    scheme: str
+    mse: float
+    bias: float
+    n_trials: int
+
+
+#: a sweep point: parameters + factories for the schemes and the attack
+PointSpec = Mapping[str, Any]
+
+
+def sweep(
+    points: Iterable[PointSpec],
+    scheme_factory: Callable[[PointSpec], Sequence[Scheme]],
+    attack_factory: Callable[[PointSpec], Attack | None],
+    dataset_factory: Callable[[PointSpec], NumericalDataset],
+    n_users: int,
+    gamma: float | Callable[[PointSpec], float],
+    n_trials: int = 3,
+    rng: RngLike = None,
+    input_domain: tuple[float, float] | Callable[[PointSpec], tuple[float, float]] = (-1.0, 1.0),
+) -> List[SweepRecord]:
+    """Run a sweep and return one record per (point, scheme).
+
+    The factories receive the sweep point so every aspect of the experiment
+    (schemes, attack, dataset, Byzantine proportion, input domain) can depend
+    on the swept parameters.
+    """
+    rng = ensure_rng(rng)
+    records: List[SweepRecord] = []
+    for point in points:
+        point = dict(point)
+        schemes = scheme_factory(point)
+        attack = attack_factory(point)
+        dataset = dataset_factory(point)
+        point_gamma = gamma(point) if callable(gamma) else gamma
+        point_domain = input_domain(point) if callable(input_domain) else input_domain
+        results = evaluate_schemes(
+            schemes,
+            dataset,
+            attack,
+            n_users=n_users,
+            gamma=point_gamma,
+            n_trials=n_trials,
+            rng=rng,
+            input_domain=point_domain,
+        )
+        for name, result in results.items():
+            records.append(
+                SweepRecord(
+                    point=point,
+                    scheme=name,
+                    mse=result.mse,
+                    bias=result.bias,
+                    n_trials=n_trials,
+                )
+            )
+    return records
+
+
+def records_to_table(
+    records: Sequence[SweepRecord],
+    row_key: str,
+    column_key: str = "scheme",
+    value: str = "mse",
+) -> Dict[Any, Dict[Any, float]]:
+    """Pivot sweep records into ``{row -> {column -> value}}`` for printing."""
+    table: Dict[Any, Dict[Any, float]] = {}
+    for record in records:
+        row = record.point.get(row_key) if row_key != "scheme" else record.scheme
+        column = record.scheme if column_key == "scheme" else record.point.get(column_key)
+        cell = getattr(record, value)
+        table.setdefault(row, {})[column] = cell
+    return table
+
+
+def format_table(
+    table: Mapping[Any, Mapping[Any, float]],
+    row_label: str = "",
+    float_format: str = "{:.3e}",
+) -> str:
+    """Format a pivoted table as fixed-width text (paper-style rows)."""
+    columns: List[Any] = []
+    for row in table.values():
+        for column in row:
+            if column not in columns:
+                columns.append(column)
+    header = [row_label.ljust(14)] + [str(c).rjust(12) for c in columns]
+    lines = ["".join(header)]
+    for row_name, row in table.items():
+        cells = [str(row_name).ljust(14)]
+        for column in columns:
+            value = row.get(column)
+            cells.append(
+                (float_format.format(value) if value is not None else "-").rjust(12)
+            )
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+__all__ = ["SweepRecord", "sweep", "records_to_table", "format_table"]

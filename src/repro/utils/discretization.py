@@ -1,0 +1,140 @@
+"""Bucket grids for discretising continuous value domains.
+
+The EMF probing machinery of the paper works on two discretised domains: the
+original value domain (d buckets over [-1, 1]) and the perturbed value domain
+(d' buckets over [-C, C] for the Piecewise Mechanism).  :class:`BucketGrid`
+captures one such uniform partition and the common operations on it —
+assigning values to buckets, retrieving bucket centres ("median values" nu_j in
+the paper) and widths, and slicing the grid into the left / right half used to
+host poison-value buckets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import check_integer
+
+
+@dataclass(frozen=True)
+class BucketGrid:
+    """A uniform partition of ``[low, high]`` into ``n_buckets`` buckets.
+
+    Attributes
+    ----------
+    low, high:
+        Domain endpoints (``low < high``).
+    n_buckets:
+        Number of equal-width buckets.
+    """
+
+    low: float
+    high: float
+    n_buckets: int
+    edges: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        check_integer(self.n_buckets, "n_buckets", minimum=1)
+        if not np.isfinite(self.low) or not np.isfinite(self.high):
+            raise ValueError("Bucket grid endpoints must be finite")
+        if self.high <= self.low:
+            raise ValueError(
+                f"high must exceed low, got low={self.low}, high={self.high}"
+            )
+        object.__setattr__(
+            self, "edges", np.linspace(self.low, self.high, self.n_buckets + 1)
+        )
+
+    # ------------------------------------------------------------------
+    # basic geometry
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        """Width of each bucket."""
+        return (self.high - self.low) / self.n_buckets
+
+    @property
+    def centers(self) -> np.ndarray:
+        """Centre (median) value of each bucket — the paper's ``nu_j``."""
+        return (self.edges[:-1] + self.edges[1:]) / 2.0
+
+    def bucket_bounds(self, index: int) -> tuple[float, float]:
+        """Return the ``(lower, upper)`` bounds of bucket ``index``."""
+        if not 0 <= index < self.n_buckets:
+            raise IndexError(f"bucket index {index} out of range [0, {self.n_buckets})")
+        return float(self.edges[index]), float(self.edges[index + 1])
+
+    # ------------------------------------------------------------------
+    # assignment
+    # ------------------------------------------------------------------
+    def assign(self, values: np.ndarray) -> np.ndarray:
+        """Map ``values`` to bucket indices in ``[0, n_buckets)``.
+
+        Values outside the domain are clipped to the first / last bucket, which
+        matches how the collector treats reports that sit exactly on (or just
+        beyond, due to floating point) the domain boundary.
+        """
+        values = np.asarray(values, dtype=float)
+        idx = np.floor((values - self.low) / self.width).astype(int)
+        return np.clip(idx, 0, self.n_buckets - 1)
+
+    def counts(self, values: np.ndarray) -> np.ndarray:
+        """Histogram counts of ``values`` over the grid."""
+        idx = self.assign(values)
+        return np.bincount(idx, minlength=self.n_buckets).astype(float)
+
+    def frequencies(self, values: np.ndarray) -> np.ndarray:
+        """Normalised histogram (sums to one) of ``values`` over the grid."""
+        counts = self.counts(values)
+        total = counts.sum()
+        if total == 0:
+            return np.full(self.n_buckets, 1.0 / self.n_buckets)
+        return counts / total
+
+    # ------------------------------------------------------------------
+    # sub-grids
+    # ------------------------------------------------------------------
+    def sub_grid(self, low: float, high: float, n_buckets: int) -> "BucketGrid":
+        """Return a new grid over ``[low, high]`` with ``n_buckets`` buckets."""
+        return BucketGrid(low=low, high=high, n_buckets=n_buckets)
+
+    def right_half(self, split: float | None = None) -> "BucketGrid":
+        """Grid covering ``[split, high]`` with (roughly) half of the buckets.
+
+        The paper hosts poison buckets on the poisoned side of the output
+        domain; when ``split`` is the pessimistic mean ``O'`` this returns the
+        grid for those poison buckets (Section IV-B, footnote 5).
+        """
+        split = 0.5 * (self.low + self.high) if split is None else float(split)
+        if not self.low <= split < self.high:
+            raise ValueError(f"split {split} must lie inside [{self.low}, {self.high})")
+        frac = (self.high - split) / (self.high - self.low)
+        n = max(1, int(np.ceil(self.n_buckets * frac)))
+        return BucketGrid(low=split, high=self.high, n_buckets=n)
+
+    def left_half(self, split: float | None = None) -> "BucketGrid":
+        """Grid covering ``[low, split]`` — mirror of :meth:`right_half`."""
+        split = 0.5 * (self.low + self.high) if split is None else float(split)
+        if not self.low < split <= self.high:
+            raise ValueError(f"split {split} must lie inside ({self.low}, {self.high}]")
+        frac = (split - self.low) / (self.high - self.low)
+        n = max(1, int(np.ceil(self.n_buckets * frac)))
+        return BucketGrid(low=self.low, high=split, n_buckets=n)
+
+    def __len__(self) -> int:  # pragma: no cover - trivial
+        return self.n_buckets
+
+
+def bucketize(values: np.ndarray, low: float, high: float, n_buckets: int) -> np.ndarray:
+    """Convenience wrapper: assign ``values`` to buckets of a fresh grid."""
+    return BucketGrid(low=low, high=high, n_buckets=n_buckets).assign(values)
+
+
+def bucket_centers(low: float, high: float, n_buckets: int) -> np.ndarray:
+    """Convenience wrapper: centres of a uniform grid over ``[low, high]``."""
+    return BucketGrid(low=low, high=high, n_buckets=n_buckets).centers
+
+
+__all__ = ["BucketGrid", "bucketize", "bucket_centers"]

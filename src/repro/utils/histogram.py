@@ -1,0 +1,104 @@
+"""Histogram helpers shared by EMF, EMS and the evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.discretization import BucketGrid
+
+
+def histogram_counts(values: np.ndarray, grid: BucketGrid) -> np.ndarray:
+    """Counts of ``values`` in each bucket of ``grid`` (float dtype)."""
+    return grid.counts(np.asarray(values, dtype=float))
+
+
+def normalize_histogram(counts: np.ndarray) -> np.ndarray:
+    """Normalise non-negative ``counts`` to a probability vector.
+
+    A zero histogram maps to the uniform distribution, which is the safest
+    neutral output for downstream estimators.
+    """
+    counts = np.asarray(counts, dtype=float)
+    counts = np.clip(counts, 0.0, None)
+    total = counts.sum()
+    if total <= 0:
+        return np.full(counts.shape, 1.0 / counts.size)
+    return counts / total
+
+
+def histogram_mean(frequencies: np.ndarray, centers: np.ndarray) -> float:
+    """Mean of a distribution given bucket ``frequencies`` and ``centers``."""
+    frequencies = np.asarray(frequencies, dtype=float)
+    centers = np.asarray(centers, dtype=float)
+    if frequencies.shape != centers.shape:
+        raise ValueError(
+            f"frequencies and centers must align, got {frequencies.shape} vs {centers.shape}"
+        )
+    total = frequencies.sum()
+    if total <= 0:
+        return float(centers.mean())
+    return float(np.dot(frequencies, centers) / total)
+
+
+def histogram_variance(frequencies: np.ndarray, centers: np.ndarray | None = None) -> float:
+    """Variance used by the poisoned-side probing rule (Algorithm 3).
+
+    When ``centers`` is ``None`` this is the plain variance of the frequency
+    vector itself — exactly the quantity compared in Algorithm 3 (a uniform
+    reconstructed histogram has near-zero variance).  With ``centers`` it is
+    the variance of the underlying value distribution instead.
+    """
+    frequencies = np.asarray(frequencies, dtype=float)
+    if centers is None:
+        return float(np.var(frequencies))
+    centers = np.asarray(centers, dtype=float)
+    mean = histogram_mean(frequencies, centers)
+    total = frequencies.sum()
+    if total <= 0:
+        return float(np.var(centers))
+    return float(np.dot(frequencies, (centers - mean) ** 2) / total)
+
+
+def rebin_histogram(frequencies: np.ndarray, source: BucketGrid, target: BucketGrid) -> np.ndarray:
+    """Re-express ``frequencies`` on ``source`` buckets over ``target`` buckets.
+
+    Mass is split proportionally to bucket overlap, so total mass is preserved.
+    Used when comparing reconstructed histograms against ground-truth
+    histograms built on a different resolution.
+    """
+    frequencies = np.asarray(frequencies, dtype=float)
+    if frequencies.size != source.n_buckets:
+        raise ValueError(
+            f"frequencies length {frequencies.size} != source buckets {source.n_buckets}"
+        )
+    out = np.zeros(target.n_buckets)
+    for i in range(source.n_buckets):
+        s_low, s_high = source.bucket_bounds(i)
+        mass = frequencies[i]
+        if mass == 0:
+            continue
+        width = s_high - s_low
+        # overlap of [s_low, s_high] with every target bucket
+        t_low = np.maximum(target.edges[:-1], s_low)
+        t_high = np.minimum(target.edges[1:], s_high)
+        overlap = np.clip(t_high - t_low, 0.0, None)
+        if width > 0:
+            out += mass * overlap / width
+        else:  # degenerate bucket: assign to the containing target bucket
+            out[target.assign(np.array([s_low]))[0]] += mass
+    return out
+
+
+def cumulative_distribution(frequencies: np.ndarray) -> np.ndarray:
+    """Cumulative sums of a (normalised) histogram."""
+    return np.cumsum(normalize_histogram(frequencies))
+
+
+__all__ = [
+    "histogram_counts",
+    "normalize_histogram",
+    "histogram_mean",
+    "histogram_variance",
+    "rebin_histogram",
+    "cumulative_distribution",
+]

@@ -1,0 +1,104 @@
+"""Input validation helpers used across the library.
+
+All helpers raise ``ValueError`` with a descriptive message naming the
+offending argument, which keeps the public API errors consistent.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+
+def check_positive(value: float, name: str, strict: bool = True) -> float:
+    """Validate that ``value`` is a (strictly) positive finite number."""
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_fraction(value: float, name: str, inclusive: bool = True) -> float:
+    """Validate that ``value`` lies in [0, 1] (or (0, 1) when not inclusive)."""
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+    if inclusive:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {value}")
+    else:
+        if not 0.0 < value < 1.0:
+            raise ValueError(f"{name} must be in (0, 1), got {value}")
+    return value
+
+
+def check_in_interval(
+    value: float, low: float, high: float, name: str, inclusive: bool = True
+) -> float:
+    """Validate that ``value`` lies in the interval [low, high]."""
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+    if inclusive:
+        if not low <= value <= high:
+            raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    else:
+        if not low < value < high:
+            raise ValueError(f"{name} must be in ({low}, {high}), got {value}")
+    return value
+
+
+def check_array_in_interval(
+    values: Iterable[float], low: float, high: float, name: str, atol: float = 1e-9
+) -> np.ndarray:
+    """Validate that every element of ``values`` lies within [low, high]."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return arr
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} must contain only finite values")
+    if arr.min() < low - atol or arr.max() > high + atol:
+        raise ValueError(
+            f"{name} must lie in [{low}, {high}], got range "
+            f"[{arr.min():.6g}, {arr.max():.6g}]"
+        )
+    return np.clip(arr, low, high)
+
+
+def check_probability_vector(values: Iterable[float], name: str, atol: float = 1e-6) -> np.ndarray:
+    """Validate that ``values`` is a non-negative vector summing to one."""
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if np.any(arr < -atol):
+        raise ValueError(f"{name} must be non-negative")
+    total = float(arr.sum())
+    if not math.isclose(total, 1.0, abs_tol=atol):
+        raise ValueError(f"{name} must sum to 1, got {total:.6g}")
+    return np.clip(arr, 0.0, None)
+
+
+def check_integer(value: int, name: str, minimum: int | None = None) -> int:
+    """Validate that ``value`` is an integer, optionally at least ``minimum``."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValueError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if minimum is not None and value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+__all__ = [
+    "check_positive",
+    "check_fraction",
+    "check_in_interval",
+    "check_array_in_interval",
+    "check_probability_vector",
+    "check_integer",
+]

@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import beta_dataset, taxi_dataset
+from repro.ldp import PiecewiseMechanism
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def pm_1() -> PiecewiseMechanism:
+    """Piecewise Mechanism at epsilon = 1."""
+    return PiecewiseMechanism(1.0)
+
+
+@pytest.fixture(scope="session")
+def small_taxi():
+    """A small Taxi dataset reused across tests (session-scoped for speed)."""
+    return taxi_dataset(n_samples=6_000, rng=7)
+
+
+@pytest.fixture(scope="session")
+def small_beta25():
+    """A small Beta(2,5) dataset reused across tests."""
+    return beta_dataset(2, 5, n_samples=6_000, rng=11)

@@ -1,0 +1,235 @@
+"""Tests for the attack strategies (GBA, BBA, IMA, evasion) and poison ranges."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import (
+    BetaPoison,
+    BiasedByzantineAttack,
+    EvasionAttack,
+    GaussianPoison,
+    GeneralByzantineAttack,
+    InputManipulationAttack,
+    NoAttack,
+    PAPER_POISON_RANGES,
+    PointMassPoison,
+    PoisonRange,
+    UniformPoison,
+)
+from repro.attacks.base import AttackReport
+from repro.ldp import PiecewiseMechanism
+
+
+@pytest.fixture
+def mech():
+    return PiecewiseMechanism(1.0)
+
+
+class TestPoisonRange:
+    def test_of_c_resolution(self, mech):
+        low, high = PoisonRange.of_c(0.5, 1.0).resolve(mech, 0.0, "right")
+        assert low == pytest.approx(mech.C / 2)
+        assert high == pytest.approx(mech.C)
+
+    def test_from_mean_resolution(self, mech):
+        low, high = PoisonRange.from_mean_to_c(0.5).resolve(mech, 0.1, "right")
+        assert low == pytest.approx(0.1)
+        assert high == pytest.approx(mech.C / 2)
+
+    def test_left_side_mirrors(self, mech):
+        right = PoisonRange.of_c(0.5, 1.0).resolve(mech, 0.0, "right")
+        left = PoisonRange.of_c(0.5, 1.0).resolve(mech, 0.0, "left")
+        assert left == (pytest.approx(-right[1]), pytest.approx(-right[0]))
+
+    def test_affine_constructor(self, mech):
+        low, high = PoisonRange.affine(0.5, 0.5, 1.0).resolve(mech, 0.0, "right")
+        assert low == pytest.approx(0.5 * mech.C + 0.5)
+        assert high == pytest.approx(mech.C)
+
+    def test_absolute_constructor(self, mech):
+        low, high = PoisonRange.absolute(1.0, 2.0).resolve(mech, 0.0, "right")
+        assert (low, high) == (1.0, 2.0)
+
+    def test_clipped_to_domain(self, mech):
+        low, high = PoisonRange.absolute(-100.0, 100.0).resolve(mech, 0.0, "right")
+        assert low == pytest.approx(-mech.C)
+        assert high == pytest.approx(mech.C)
+
+    def test_empty_range_raises(self, mech):
+        with pytest.raises(ValueError):
+            PoisonRange.absolute(5.0, 4.0).resolve(mech, 0.0, "right")
+
+    def test_invalid_side(self, mech):
+        with pytest.raises(ValueError):
+            PoisonRange.of_c(0.5, 1.0).resolve(mech, 0.0, "up")
+
+    def test_paper_ranges_all_resolve(self, mech):
+        for poison_range in PAPER_POISON_RANGES.values():
+            low, high = poison_range.resolve(mech, 0.0, "right")
+            assert low <= high
+
+
+class TestPoisonDistributions:
+    def test_uniform_within_range(self, rng):
+        samples = UniformPoison().sample(1_000, 2.0, 3.0, rng)
+        assert samples.min() >= 2.0 and samples.max() <= 3.0
+
+    def test_gaussian_clipped_to_range(self, rng):
+        samples = GaussianPoison(relative_std=2.0).sample(1_000, 0.0, 1.0, rng)
+        assert samples.min() >= 0.0 and samples.max() <= 1.0
+
+    def test_beta_skew_directions(self, rng):
+        low_heavy = BetaPoison(1, 6).sample(5_000, 0.0, 1.0, rng).mean()
+        high_heavy = BetaPoison(6, 1).sample(5_000, 0.0, 1.0, rng).mean()
+        assert low_heavy < 0.3 < 0.7 < high_heavy
+
+    def test_point_mass(self, rng):
+        samples = PointMassPoison(1.0).sample(10, 0.0, 2.0, rng)
+        np.testing.assert_allclose(samples, 2.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BetaPoison(0, 1)
+        with pytest.raises(ValueError):
+            PointMassPoison(1.5)
+
+
+class TestAttackReport:
+    def test_count(self):
+        report = AttackReport(reports=np.array([1.0, 2.0]))
+        assert report.n == 2
+
+    def test_invalid_side(self):
+        with pytest.raises(ValueError):
+            AttackReport(reports=np.array([1.0]), poisoned_side="up")
+
+
+class TestNoAttack:
+    def test_empty_reports(self, mech, rng):
+        report = NoAttack().poison_reports(100, mech, 0.0, rng)
+        assert report.n == 0
+
+
+class TestBBA:
+    def test_reports_in_resolved_range(self, mech, rng):
+        attack = BiasedByzantineAttack(PAPER_POISON_RANGES["[C/2,C]"])
+        report = attack.poison_reports(2_000, mech, 0.0, rng)
+        low, high = attack.resolved_range(mech, 0.0)
+        assert report.reports.min() >= low - 1e-9
+        assert report.reports.max() <= high + 1e-9
+        assert report.poisoned_side == "right"
+
+    def test_left_side_attack(self, mech, rng):
+        attack = BiasedByzantineAttack(PAPER_POISON_RANGES["[C/2,C]"], side="left")
+        report = attack.poison_reports(500, mech, 0.0, rng)
+        assert report.reports.max() <= -mech.C / 2 + 1e-9
+
+    def test_zero_byzantine(self, mech, rng):
+        assert BiasedByzantineAttack().poison_reports(0, mech, 0.0, rng).n == 0
+
+    def test_count_matches(self, mech, rng):
+        assert BiasedByzantineAttack().poison_reports(123, mech, 0.0, rng).n == 123
+
+    def test_invalid_side(self):
+        with pytest.raises(ValueError):
+            BiasedByzantineAttack(side="middle")
+
+
+class TestGBA:
+    def test_reports_within_output_domain(self, mech, rng):
+        attack = GeneralByzantineAttack(right_fraction=0.6)
+        report = attack.poison_reports(2_000, mech, 0.0, rng)
+        assert report.reports.min() >= -mech.C - 1e-9
+        assert report.reports.max() <= mech.C + 1e-9
+        assert report.poisoned_side == "both"
+
+    def test_pure_right_is_right_sided(self, mech, rng):
+        report = GeneralByzantineAttack(1.0).poison_reports(100, mech, 0.0, rng)
+        assert report.poisoned_side == "right"
+        assert report.reports.min() >= 0.0
+
+    def test_pure_left(self, mech, rng):
+        report = GeneralByzantineAttack(0.0).poison_reports(100, mech, 0.0, rng)
+        assert report.poisoned_side == "left"
+        assert report.reports.max() <= 0.0
+
+    def test_split_counts(self, mech, rng):
+        report = GeneralByzantineAttack(0.25).poison_reports(1_000, mech, 0.0, rng)
+        n_right = np.count_nonzero(report.reports >= 0.0)
+        assert n_right == 250
+
+
+class TestIMA:
+    def test_reports_look_like_perturbed_values(self, mech, rng):
+        report = InputManipulationAttack(1.0).poison_reports(5_000, mech, 0.0, rng)
+        # IMA reports live in the PM output domain and average near g = 1
+        assert report.reports.min() >= -mech.C - 1e-9
+        assert report.reports.max() <= mech.C + 1e-9
+        assert report.reports.mean() == pytest.approx(1.0, abs=0.15)
+
+    def test_side_follows_poison_input(self, mech, rng):
+        assert InputManipulationAttack(-1.0).poison_reports(10, mech, 0.0, rng).poisoned_side == "left"
+        assert InputManipulationAttack(0.5).poison_reports(10, mech, 0.0, rng).poisoned_side == "right"
+
+    def test_invalid_poison_input(self):
+        with pytest.raises(ValueError):
+            InputManipulationAttack(2.0)
+
+
+class TestEvasion:
+    def test_split_between_true_and_evasive(self, mech, rng):
+        attack = EvasionAttack(evasive_fraction=0.3)
+        report = attack.poison_reports(1_000, mech, 0.0, rng)
+        n_evasive = np.count_nonzero(report.reports < 0)
+        assert n_evasive == 300
+        # evasive values sit at -C/2
+        np.testing.assert_allclose(
+            report.reports[report.reports < 0], -mech.C / 2, atol=1e-9
+        )
+
+    def test_zero_fraction_is_plain_bba(self, mech, rng):
+        report = EvasionAttack(0.0).poison_reports(500, mech, 0.0, rng)
+        assert report.reports.min() >= mech.C / 2 - 1e-9
+
+    def test_full_fraction_all_evasive(self, mech, rng):
+        report = EvasionAttack(1.0).poison_reports(500, mech, 0.0, rng)
+        assert report.reports.max() <= 0.0
+
+    def test_utility_loss_bound_monotone_in_a(self, mech):
+        low = EvasionAttack(0.1).utility_loss_bound(100, 300, mech, 0.0)
+        high = EvasionAttack(0.4).utility_loss_bound(100, 300, mech, 0.0)
+        assert 0 < low < high
+
+    def test_utility_loss_zero_population(self, mech):
+        assert EvasionAttack(0.2).utility_loss_bound(0, 0, mech) == 0.0
+
+
+class TestPropertyBased:
+    @given(
+        n=st.integers(0, 200),
+        epsilon=st.floats(0.2, 3.0),
+        fraction=st.floats(0, 1),
+        seed=st.integers(0, 9999),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_gba_reports_always_in_domain(self, n, epsilon, fraction, seed):
+        mech = PiecewiseMechanism(epsilon)
+        report = GeneralByzantineAttack(fraction).poison_reports(n, mech, 0.0, seed)
+        assert report.n == n
+        if n:
+            assert report.reports.min() >= -mech.C - 1e-9
+            assert report.reports.max() <= mech.C + 1e-9
+
+    @given(
+        n=st.integers(1, 200),
+        epsilon=st.floats(0.2, 3.0),
+        a=st.floats(0, 1),
+        seed=st.integers(0, 9999),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_evasion_counts_add_up(self, n, epsilon, a, seed):
+        mech = PiecewiseMechanism(epsilon)
+        report = EvasionAttack(a).poison_reports(n, mech, 0.0, seed)
+        assert report.n == n

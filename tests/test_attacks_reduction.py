@@ -1,0 +1,114 @@
+"""Tests for the GBA -> BBA reduction (Theorem 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.reduction import (
+    equivalent_bba_reports,
+    reduce_gba_to_bba,
+    total_deviation,
+)
+
+DOMAIN = (-5.0, 5.0)
+
+
+class TestTotalDeviation:
+    def test_simple(self):
+        assert total_deviation(np.array([1.0, 2.0, 3.0]), 1.0) == pytest.approx(3.0)
+
+    def test_empty(self):
+        assert total_deviation(np.array([]), 0.0) == 0.0
+
+
+class TestEquivalentBBA:
+    def test_preserves_deviation(self):
+        reports = np.array([-3.0, 2.0, 4.0, -1.0])
+        reduced = equivalent_bba_reports(reports, 0.0, *DOMAIN)
+        assert total_deviation(reduced, 0.0) == pytest.approx(total_deviation(reports, 0.0))
+
+    def test_one_sided(self):
+        reports = np.array([-3.0, 2.0, 4.0, -1.0])  # net +2
+        reduced = equivalent_bba_reports(reports, 0.0, *DOMAIN)
+        assert np.all(reduced >= 0.0)
+
+    def test_negative_net_goes_left(self):
+        reports = np.array([-4.0, 1.0])
+        reduced = equivalent_bba_reports(reports, 0.0, *DOMAIN)
+        assert np.all(reduced <= 0.0)
+
+    def test_zero_deviation_is_empty(self):
+        assert equivalent_bba_reports(np.array([-1.0, 1.0]), 0.0, *DOMAIN).size == 0
+
+    def test_values_inside_domain(self):
+        reports = np.full(10, 4.9)
+        reduced = equivalent_bba_reports(reports, 0.0, *DOMAIN)
+        assert reduced.max() <= DOMAIN[1] + 1e-9
+
+    def test_degenerate_reference_raises(self):
+        # positive net deviation but no room on the right of the reference mean
+        with pytest.raises(ValueError):
+            equivalent_bba_reports(np.array([6.0]), 5.0, -5.0, 5.0)
+
+
+class TestReduceGbaToBba:
+    def test_preserves_deviation_exactly(self):
+        reports = np.array([-3.0, -0.5, 2.0, 4.0, -1.0, 0.25])
+        reduced = reduce_gba_to_bba(reports, 0.0, *DOMAIN)
+        assert total_deviation(reduced, 0.0) == pytest.approx(
+            total_deviation(reports, 0.0), abs=1e-9
+        )
+
+    def test_result_is_one_sided(self):
+        reports = np.array([-3.0, -0.5, 2.0, 4.0, -1.0, 0.25])  # net positive
+        reduced = reduce_gba_to_bba(reports, 0.0, *DOMAIN)
+        assert np.all(reduced >= -1e-9)
+
+    def test_net_negative_attack_reduces_to_left(self):
+        reports = np.array([-4.0, -3.0, 1.0, 0.5])
+        reduced = reduce_gba_to_bba(reports, 0.0, *DOMAIN)
+        assert np.all(reduced <= 1e-9)
+
+    def test_already_one_sided_unchanged_in_total(self):
+        reports = np.array([1.0, 2.0, 3.0])
+        reduced = reduce_gba_to_bba(reports, 0.0, *DOMAIN)
+        assert total_deviation(reduced, 0.0) == pytest.approx(6.0)
+        assert reduced.size == 3
+
+    def test_empty_input(self):
+        assert reduce_gba_to_bba(np.array([]), 0.0, *DOMAIN).size == 0
+
+    def test_values_stay_in_domain(self):
+        rng = np.random.default_rng(0)
+        reports = rng.uniform(-5, 5, 200)
+        reduced = reduce_gba_to_bba(reports, 0.0, *DOMAIN)
+        assert reduced.min() >= DOMAIN[0] - 1e-9
+        assert reduced.max() <= DOMAIN[1] + 1e-9
+
+    def test_nonzero_reference_mean(self):
+        reports = np.array([-2.0, 1.0, 3.0])
+        reference = 0.5
+        reduced = reduce_gba_to_bba(reports, reference, *DOMAIN)
+        assert total_deviation(reduced, reference) == pytest.approx(
+            total_deviation(reports, reference), abs=1e-9
+        )
+        # one-sided relative to the reference mean
+        assert np.all(reduced >= reference - 1e-9) or np.all(reduced <= reference + 1e-9)
+
+
+class TestPropertyBased:
+    @given(
+        reports=st.lists(st.floats(-5, 5, allow_nan=False), min_size=1, max_size=40),
+        reference=st.floats(-2, 2, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_reduction_invariant_and_one_sided(self, reports, reference):
+        reports = np.array(reports)
+        reduced = reduce_gba_to_bba(reports, reference, *DOMAIN)
+        assert total_deviation(reduced, reference) == pytest.approx(
+            total_deviation(reports, reference), abs=1e-6
+        )
+        above = np.any(reduced > reference + 1e-9)
+        below = np.any(reduced < reference - 1e-9)
+        assert not (above and below)

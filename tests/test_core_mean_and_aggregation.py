@@ -1,0 +1,187 @@
+"""Tests for the corrected mean (Eq. 12-13) and the optimal aggregation (Thm. 6)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregation import (
+    aggregate_means,
+    aggregation_weights,
+    minimal_aggregated_variance,
+    worst_case_group_variance,
+)
+from repro.core.mean_estimation import corrected_mean, plain_mean
+from repro.ldp import PiecewiseMechanism
+
+
+class TestPlainMean:
+    def test_average(self):
+        assert plain_mean(np.array([1.0, 3.0])) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            plain_mean(np.array([]))
+
+
+class TestCorrectedMean:
+    def test_exact_correction_recovers_truth(self, rng):
+        normal = rng.normal(0.2, 0.1, 8_000)
+        poison = np.full(2_000, 4.0)
+        reports = np.concatenate([normal, poison])
+        gamma = 0.2
+        estimate = corrected_mean(reports, gamma, poison_mean=4.0, clip=False)
+        assert estimate == pytest.approx(normal.mean(), abs=0.01)
+
+    def test_zero_gamma_is_plain_mean(self, rng):
+        reports = rng.normal(0.1, 0.2, 1_000)
+        assert corrected_mean(reports, 0.0, 0.0, clip=False) == pytest.approx(
+            plain_mean(reports)
+        )
+
+    def test_clipping_to_input_domain(self):
+        reports = np.full(100, 5.0)
+        assert corrected_mean(reports, 0.0, 0.0) == 1.0
+        assert corrected_mean(reports, 0.0, 0.0, input_domain=(0.0, 2.0)) == 2.0
+
+    def test_gamma_one_falls_back_to_plain_mean(self):
+        reports = np.array([0.5, 0.7])
+        assert corrected_mean(reports, 1.0, 10.0) == pytest.approx(0.6)
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            corrected_mean(np.array([1.0]), -0.1, 0.0)
+
+    def test_empty_reports(self):
+        with pytest.raises(ValueError):
+            corrected_mean(np.array([]), 0.1, 0.0)
+
+    def test_under_correction_leaves_positive_bias(self, rng):
+        normal = rng.normal(0.0, 0.1, 8_000)
+        poison = np.full(2_000, 4.0)
+        reports = np.concatenate([normal, poison])
+        # underestimate gamma -> residual positive bias
+        estimate = corrected_mean(reports, 0.1, 4.0, clip=False)
+        assert estimate > normal.mean()
+
+
+class TestWorstCaseVariance:
+    def test_matches_pm_formula(self):
+        for epsilon in (0.25, 1.0, 2.0):
+            assert worst_case_group_variance(epsilon) == pytest.approx(
+                PiecewiseMechanism(epsilon).worst_case_variance()
+            )
+
+    def test_decreasing_in_epsilon(self):
+        assert worst_case_group_variance(0.25) > worst_case_group_variance(2.0)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            worst_case_group_variance(0.0)
+
+
+class TestAggregationWeights:
+    def test_weights_sum_to_one(self):
+        weights = aggregation_weights([1.0, 0.5, 0.25], [100, 100, 100])
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_larger_epsilon_gets_larger_weight(self):
+        weights = aggregation_weights([2.0, 0.25], [100, 100])
+        assert weights[0] > weights[1]
+
+    def test_matches_theorem6_formula(self):
+        # the proof's general form: w_t proportional to n_t^2 / B_t
+        epsilons = [1.0, 0.5]
+        n_normal = [120.0, 80.0]
+        b = [n * worst_case_group_variance(e) for e, n in zip(epsilons, n_normal)]
+        expected = np.array([n**2 / bi for n, bi in zip(n_normal, b)])
+        expected /= expected.sum()
+        np.testing.assert_allclose(aggregation_weights(epsilons, n_normal), expected)
+
+    def test_equal_group_sizes_match_algorithm5_printed_form(self):
+        # with equal n_t the general form reduces to w_t = (B_t sum 1/B_i)^-1
+        epsilons = [1.0, 0.5, 0.25]
+        n_normal = [100.0, 100.0, 100.0]
+        b = np.array([n * worst_case_group_variance(e) for e, n in zip(epsilons, n_normal)])
+        expected = (1 / b) / (1 / b).sum()
+        np.testing.assert_allclose(aggregation_weights(epsilons, n_normal), expected)
+
+    def test_empty_group_gets_zero_weight(self):
+        weights = aggregation_weights([1.0, 0.5], [100, 0])
+        assert weights[1] == 0.0
+        assert weights[0] == pytest.approx(1.0)
+
+    def test_all_empty_groups_fall_back_to_equal(self):
+        np.testing.assert_allclose(aggregation_weights([1.0, 0.5], [0, 0]), [0.5, 0.5])
+
+    def test_custom_variances_override(self):
+        weights = aggregation_weights([1.0, 1.0], [100, 100], per_report_variances=[1.0, 3.0])
+        assert weights[0] == pytest.approx(0.75)
+        assert weights[1] == pytest.approx(0.25)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            aggregation_weights([1.0], [100, 200])
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            aggregation_weights([1.0], [-5])
+
+
+class TestAggregateMeans:
+    def test_weighted_combination(self):
+        assert aggregate_means([0.0, 1.0], [0.25, 0.75]) == pytest.approx(0.75)
+
+    def test_unnormalised_weights_are_renormalised(self):
+        assert aggregate_means([0.0, 1.0], [1.0, 3.0]) == pytest.approx(0.75)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            aggregate_means([1.0], [0.5, 0.5])
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_means([1.0, 2.0], [0.0, 0.0])
+
+
+class TestMinimalVariance:
+    def test_formula(self):
+        epsilons = [1.0, 0.5]
+        counts = [100.0, 100.0]
+        expected = 1.0 / sum(
+            n**2 / (n * worst_case_group_variance(e)) for e, n in zip(epsilons, counts)
+        )
+        assert minimal_aggregated_variance(epsilons, counts) == pytest.approx(expected)
+
+    def test_more_groups_reduce_variance(self):
+        one = minimal_aggregated_variance([1.0], [100.0])
+        two = minimal_aggregated_variance([1.0, 1.0], [100.0, 100.0])
+        assert two < one
+
+    def test_no_usable_groups(self):
+        with pytest.raises(ValueError):
+            minimal_aggregated_variance([1.0], [0.0])
+
+
+class TestOptimalityProperty:
+    @given(
+        epsilons=st.lists(st.floats(0.2, 3.0), min_size=2, max_size=5),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_theorem6_weights_beat_equal_weights(self, epsilons, seed):
+        """The Theorem 6 weights minimise the worst-case combined variance."""
+        rng = np.random.default_rng(seed)
+        counts = rng.uniform(50, 500, len(epsilons))
+        optimal = aggregation_weights(epsilons, counts)
+        equal = np.full(len(epsilons), 1.0 / len(epsilons))
+
+        def combined_variance(weights):
+            return sum(
+                w**2 * worst_case_group_variance(e) / n
+                for w, e, n in zip(weights, epsilons, counts)
+            )
+
+        assert combined_variance(optimal) <= combined_variance(equal) + 1e-12

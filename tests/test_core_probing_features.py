@@ -1,0 +1,123 @@
+"""Tests for poisoned-side probing, feature estimation and O' initialisation."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import BiasedByzantineAttack, NoAttack, PAPER_POISON_RANGES
+from repro.core.features import estimate_byzantine_features
+from repro.core.initialization import pessimistic_mean, pessimistic_mean_both_sides
+from repro.core.probing import probe_poisoned_side
+from repro.core.transform import default_bucket_counts
+from repro.ldp import PiecewiseMechanism
+
+
+def _reports(rng, epsilon, side="right", n_normal=6_000, n_byz=2_000, range_name="[C/2,C]"):
+    mech = PiecewiseMechanism(epsilon)
+    values = np.clip(rng.normal(0.1, 0.3, n_normal), -1, 1)
+    normal = mech.perturb(values, rng)
+    attack = BiasedByzantineAttack(PAPER_POISON_RANGES[range_name], side=side)
+    poison = attack.poison_reports(n_byz, mech, 0.0, rng).reports
+    return mech, np.concatenate([normal, poison])
+
+
+class TestProbePoisonedSide:
+    def test_detects_right_side_attack(self, rng):
+        mech, reports = _reports(rng, 0.25, side="right")
+        d_in, d_out = default_bucket_counts(reports.size, 0.25)
+        probe = probe_poisoned_side(mech, reports, d_in, d_out, reference_mean=0.0)
+        assert probe.side == "right"
+        assert probe.variance_right < probe.variance_left
+
+    def test_detects_left_side_attack(self, rng):
+        mech, reports = _reports(rng, 0.25, side="left")
+        d_in, d_out = default_bucket_counts(reports.size, 0.25)
+        probe = probe_poisoned_side(mech, reports, d_in, d_out, reference_mean=0.0)
+        assert probe.side == "left"
+        assert probe.variance_left < probe.variance_right
+
+    def test_selected_accessor_matches_side(self, rng):
+        mech, reports = _reports(rng, 0.25)
+        d_in, d_out = default_bucket_counts(reports.size, 0.25)
+        probe = probe_poisoned_side(mech, reports, d_in, d_out, reference_mean=0.0)
+        assert probe.selected is (probe.emf_right if probe.side == "right" else probe.emf_left)
+        assert probe.selected_transform.side == probe.side
+
+    def test_correct_side_across_budgets(self, rng):
+        for epsilon in (0.0625, 0.5, 2.0):
+            mech, reports = _reports(rng, epsilon)
+            d_in, d_out = default_bucket_counts(reports.size, epsilon)
+            probe = probe_poisoned_side(mech, reports, d_in, d_out, reference_mean=0.0)
+            assert probe.side == "right", f"wrong side at epsilon={epsilon}"
+
+
+class TestEstimateByzantineFeatures:
+    def test_gamma_and_side(self, rng):
+        mech, reports = _reports(rng, 0.125)
+        features = estimate_byzantine_features(mech, reports, reference_mean=0.0)
+        assert features.side == "right"
+        assert features.gamma_hat == pytest.approx(0.25, abs=0.06)
+
+    def test_poison_mean_close_to_truth(self, rng):
+        mech = PiecewiseMechanism(0.125)
+        values = np.clip(rng.normal(0.0, 0.3, 6_000), -1, 1)
+        normal = mech.perturb(values, rng)
+        attack = BiasedByzantineAttack(PAPER_POISON_RANGES["[3C/4,C]"])
+        poison = attack.poison_reports(2_000, mech, 0.0, rng).reports
+        reports = np.concatenate([normal, poison])
+        features = estimate_byzantine_features(mech, reports, reference_mean=0.0)
+        assert features.poison_mean == pytest.approx(float(poison.mean()), rel=0.1)
+
+    def test_no_attack_small_gamma(self, rng):
+        mech = PiecewiseMechanism(0.125)
+        values = np.clip(rng.normal(0.0, 0.3, 8_000), -1, 1)
+        reports = mech.perturb(values, rng)
+        features = estimate_byzantine_features(mech, reports, reference_mean=0.0)
+        assert features.gamma_hat < 0.08
+
+    def test_estimated_byzantine_count(self, rng):
+        mech, reports = _reports(rng, 0.25)
+        features = estimate_byzantine_features(mech, reports, reference_mean=0.0)
+        assert features.estimated_byzantine_count(reports.size) == pytest.approx(
+            features.gamma_hat * reports.size
+        )
+
+    def test_custom_bucket_counts_respected(self, rng):
+        mech, reports = _reports(rng, 0.25)
+        features = estimate_byzantine_features(
+            mech, reports, n_input_buckets=9, n_output_buckets=21, reference_mean=0.0
+        )
+        assert features.emf.transform.input_grid.n_buckets == 9
+        assert features.emf.transform.output_grid.n_buckets == 21
+
+
+class TestPessimisticMean:
+    def test_right_side_is_lower_bound(self, rng):
+        # poison inflates the top of the distribution; removing the largest
+        # gamma_sup fraction must not overshoot the clean mean upwards
+        clean = rng.normal(0.0, 1.0, 5_000)
+        poisoned = np.concatenate([clean, np.full(1_000, 10.0)])
+        estimate = pessimistic_mean(poisoned, gamma_sup=0.5, side="right")
+        assert estimate <= clean.mean() + 1e-9
+
+    def test_left_side_is_upper_bound(self, rng):
+        clean = rng.normal(0.0, 1.0, 5_000)
+        poisoned = np.concatenate([clean, np.full(1_000, -10.0)])
+        estimate = pessimistic_mean(poisoned, gamma_sup=0.5, side="left")
+        assert estimate >= clean.mean() - 1e-9
+
+    def test_zero_gamma_sup_is_plain_mean(self, rng):
+        reports = rng.normal(0, 1, 100)
+        assert pessimistic_mean(reports, 0.0) == pytest.approx(reports.mean())
+
+    def test_both_sides_ordering(self, rng):
+        reports = rng.normal(0, 1, 1_000)
+        low, high = pessimistic_mean_both_sides(reports, 0.3)
+        assert low <= high
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            pessimistic_mean(np.array([]))
+
+    def test_invalid_side(self, rng):
+        with pytest.raises(ValueError):
+            pessimistic_mean(rng.normal(0, 1, 10), side="up")

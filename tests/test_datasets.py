@@ -1,0 +1,146 @@
+"""Tests for the dataset generators and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    CategoricalDataset,
+    NumericalDataset,
+    available_datasets,
+    beta_dataset,
+    covid_dataset,
+    load_dataset,
+    normalize_to_unit,
+    retirement_dataset,
+    taxi_dataset,
+    uniform_dataset,
+)
+from repro.datasets.base import denormalize_from_unit
+from repro.experiments.fig4 import PAPER_MEANS
+
+
+class TestNormalization:
+    def test_round_trip(self):
+        values = np.array([10_000.0, 35_000.0, 60_000.0])
+        normalised = normalize_to_unit(values, 10_000, 60_000)
+        np.testing.assert_allclose(normalised, [-1.0, 0.0, 1.0])
+        np.testing.assert_allclose(
+            denormalize_from_unit(normalised, 10_000, 60_000), values
+        )
+
+    def test_invalid_domain(self):
+        with pytest.raises(ValueError):
+            normalize_to_unit(np.array([1.0]), 5, 5)
+
+
+class TestNumericalDataset:
+    def test_basic_statistics(self):
+        ds = NumericalDataset("toy", np.array([-1.0, 0.0, 1.0]), (-1, 1))
+        assert ds.n == 3
+        assert ds.true_mean == pytest.approx(0.0)
+        assert ds.true_variance == pytest.approx(2 / 3)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            NumericalDataset("bad", np.array([2.0]), (-1, 1))
+
+    def test_histogram_sums_to_one(self):
+        ds = uniform_dataset(n_samples=2_000, rng=0)
+        histogram, grid = ds.histogram(16)
+        assert histogram.sum() == pytest.approx(1.0)
+        assert grid.n_buckets == 16
+
+    def test_sample_without_replacement_when_possible(self, rng):
+        ds = uniform_dataset(n_samples=100, rng=0)
+        sample = ds.sample(50, rng)
+        assert sample.size == 50
+
+    def test_sample_with_replacement_when_needed(self, rng):
+        ds = uniform_dataset(n_samples=10, rng=0)
+        assert ds.sample(25, rng).size == 25
+
+    def test_subset(self, rng):
+        ds = uniform_dataset(n_samples=100, rng=0)
+        sub = ds.subset(10, rng)
+        assert sub.n == 10 and sub.name == ds.name
+
+
+class TestGenerators:
+    def test_beta_dataset_mean_close_to_theory(self):
+        # Beta(2,5) has mean 2/7 on [0,1] -> 2*2/7 - 1 on [-1,1]
+        ds = beta_dataset(2, 5, n_samples=50_000, rng=0)
+        assert ds.true_mean == pytest.approx(2 * 2 / 7 - 1, abs=0.02)
+
+    def test_beta_dataset_name(self):
+        assert beta_dataset(5, 2, 100, rng=0).name == "Beta(5,2)"
+
+    def test_taxi_mean_close_to_paper(self):
+        ds = taxi_dataset(n_samples=50_000, rng=0)
+        assert ds.true_mean == pytest.approx(PAPER_MEANS["Taxi"], abs=0.05)
+
+    def test_retirement_mean_close_to_paper(self):
+        ds = retirement_dataset(n_samples=50_000, rng=0)
+        assert ds.true_mean == pytest.approx(PAPER_MEANS["Retirement"], abs=0.05)
+
+    def test_values_in_unit_interval(self):
+        for ds in (
+            taxi_dataset(5_000, rng=1),
+            retirement_dataset(5_000, rng=1),
+            beta_dataset(2, 5, 5_000, rng=1),
+        ):
+            assert ds.values.min() >= -1.0 and ds.values.max() <= 1.0
+
+    def test_reproducible_with_seed(self):
+        a = taxi_dataset(1_000, rng=5).values
+        b = taxi_dataset(1_000, rng=5).values
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            taxi_dataset(0)
+        with pytest.raises(ValueError):
+            beta_dataset(0, 1, 100)
+
+
+class TestCovidDataset:
+    def test_structure(self):
+        ds = covid_dataset(n_samples=20_000, rng=0)
+        assert isinstance(ds, CategoricalDataset)
+        assert ds.n_categories == 15
+        assert ds.n == 20_000
+
+    def test_frequencies_sum_to_one(self):
+        ds = covid_dataset(n_samples=10_000, rng=0)
+        assert ds.true_frequencies.sum() == pytest.approx(1.0)
+
+    def test_older_groups_dominate(self):
+        ds = covid_dataset(n_samples=50_000, rng=0)
+        freq = ds.true_frequencies
+        # the 85+ group (index 10) should far exceed the under-25 groups
+        assert freq[10] > 10 * freq[:4].sum()
+
+    def test_sampling(self, rng):
+        ds = covid_dataset(n_samples=1_000, rng=0)
+        assert ds.sample(100, rng).size == 100
+
+    def test_label_validation(self):
+        with pytest.raises(ValueError):
+            CategoricalDataset("bad", np.array([0, 5]), labels=("a", "b"))
+
+
+class TestRegistry:
+    def test_all_paper_datasets_loadable(self):
+        for name in ("Beta(2,5)", "Beta(5,2)", "Taxi", "Retirement", "COVID-19"):
+            ds = load_dataset(name, n_samples=500, rng=0)
+            assert len(ds) == 500
+
+    def test_case_insensitive(self):
+        assert load_dataset("taxi", 100, rng=0).name == "Taxi"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("nonexistent")
+
+    def test_available_listing(self):
+        names = available_datasets()
+        assert "taxi" in names and "covid-19" in names

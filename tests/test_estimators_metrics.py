@@ -1,0 +1,104 @@
+"""Tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimators import (
+    absolute_error,
+    frequency_mse,
+    mean_squared_error,
+    squared_error,
+    wasserstein_distance_histograms,
+    wasserstein_distance_samples,
+)
+from repro.utils.discretization import BucketGrid
+
+
+class TestScalarErrors:
+    def test_squared_error(self):
+        assert squared_error(2.0, 1.0) == 1.0
+
+    def test_absolute_error(self):
+        assert absolute_error(-2.0, 1.0) == 3.0
+
+    def test_mean_squared_error(self):
+        assert mean_squared_error([1.0, 3.0], 2.0) == pytest.approx(1.0)
+
+    def test_mean_squared_error_empty(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([], 0.0)
+
+
+class TestFrequencyMse:
+    def test_zero_for_identical(self):
+        assert frequency_mse([0.2, 0.8], [0.2, 0.8]) == 0.0
+
+    def test_simple_value(self):
+        assert frequency_mse([0.0, 1.0], [1.0, 0.0]) == pytest.approx(1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            frequency_mse([0.5], [0.5, 0.5])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            frequency_mse([], [])
+
+
+class TestWassersteinHistograms:
+    def test_identical_distributions(self):
+        assert wasserstein_distance_histograms([0.5, 0.5], [0.5, 0.5]) == 0.0
+
+    def test_shifted_point_masses(self):
+        grid = BucketGrid(0.0, 1.0, 2)
+        # all mass in bucket 0 vs all in bucket 1: distance = bucket width
+        assert wasserstein_distance_histograms([1, 0], [0, 1], grid) == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        a, b = [0.7, 0.2, 0.1], [0.1, 0.2, 0.7]
+        assert wasserstein_distance_histograms(a, b) == pytest.approx(
+            wasserstein_distance_histograms(b, a)
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            wasserstein_distance_histograms([1.0], [0.5, 0.5])
+
+
+class TestWassersteinSamples:
+    def test_identical_samples(self):
+        samples = np.array([0.1, 0.5, 0.9])
+        assert wasserstein_distance_samples(samples, samples) == pytest.approx(0.0)
+
+    def test_constant_shift(self, rng):
+        a = rng.normal(0, 1, 2_000)
+        assert wasserstein_distance_samples(a, a + 0.5) == pytest.approx(0.5, abs=0.02)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            wasserstein_distance_samples([], [1.0])
+
+
+class TestPropertyBased:
+    @given(
+        a=st.lists(st.floats(0.01, 1, allow_nan=False), min_size=2, max_size=15),
+        b=st.lists(st.floats(0.01, 1, allow_nan=False), min_size=2, max_size=15),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_wasserstein_non_negative_and_symmetric(self, a, b):
+        size = min(len(a), len(b))
+        a, b = a[:size], b[:size]
+        d_ab = wasserstein_distance_histograms(a, b)
+        d_ba = wasserstein_distance_histograms(b, a)
+        assert d_ab >= 0
+        assert d_ab == pytest.approx(d_ba, abs=1e-9)
+
+    @given(
+        estimates=st.lists(st.floats(-1, 1, allow_nan=False), min_size=1, max_size=20),
+        truth=st.floats(-1, 1, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mse_non_negative(self, estimates, truth):
+        assert mean_squared_error(estimates, truth) >= 0

@@ -1,0 +1,136 @@
+"""Tests for the categorical frequency oracles (k-RR, OUE, OLH)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ldp.base import MechanismError
+from repro.ldp.krr import KRandomizedResponse
+from repro.ldp.olh import OptimizedLocalHashing
+from repro.ldp.oue import OptimizedUnaryEncoding
+
+
+def _skewed_categories(rng, n, k):
+    probabilities = np.arange(1, k + 1, dtype=float)
+    probabilities /= probabilities.sum()
+    return rng.choice(k, size=n, p=probabilities), probabilities
+
+
+class TestKRR:
+    def test_probabilities(self):
+        mech = KRandomizedResponse(1.0, 5)
+        assert mech.p == pytest.approx(math.e / (math.e + 4))
+        assert mech.q == pytest.approx(1 / (math.e + 4))
+        assert mech.p + (mech.n_categories - 1) * mech.q == pytest.approx(1.0)
+
+    def test_reports_in_range(self, rng):
+        mech = KRandomizedResponse(1.0, 7)
+        out = mech.perturb(rng.integers(0, 7, 500), rng)
+        assert out.min() >= 0 and out.max() < 7
+
+    def test_keep_probability_empirical(self, rng):
+        mech = KRandomizedResponse(2.0, 4)
+        out = mech.perturb(np.zeros(40_000, dtype=int), rng)
+        assert np.mean(out == 0) == pytest.approx(mech.p, abs=0.01)
+
+    def test_frequency_estimation_unbiased(self, rng):
+        k = 6
+        mech = KRandomizedResponse(1.5, k)
+        categories, probabilities = _skewed_categories(rng, 60_000, k)
+        reports = mech.perturb(categories, rng)
+        estimate = mech.estimate_frequencies(reports)
+        np.testing.assert_allclose(estimate, probabilities, atol=0.02)
+
+    def test_invalid_category_rejected(self, rng):
+        mech = KRandomizedResponse(1.0, 3)
+        with pytest.raises(MechanismError):
+            mech.perturb(np.array([3]), rng)
+
+    def test_transition_matrix_structure(self):
+        mech = KRandomizedResponse(1.0, 4)
+        matrix = mech.transition_matrix()
+        assert matrix.shape == (4, 4)
+        np.testing.assert_allclose(np.diag(matrix), mech.p)
+        np.testing.assert_allclose(matrix.sum(axis=0), 1.0)
+
+    def test_estimate_from_zero_reports_raises(self):
+        with pytest.raises(MechanismError):
+            KRandomizedResponse(1.0, 3).estimate_frequencies(np.array([], dtype=int))
+
+    def test_requires_at_least_two_categories(self):
+        with pytest.raises(ValueError):
+            KRandomizedResponse(1.0, 1)
+
+
+class TestOUE:
+    def test_report_shape(self, rng):
+        mech = OptimizedUnaryEncoding(1.0, 5)
+        reports = mech.perturb(rng.integers(0, 5, 100), rng)
+        assert reports.shape == (100, 5)
+        assert set(np.unique(reports)) <= {0, 1}
+
+    def test_frequency_estimation_unbiased(self, rng):
+        k = 5
+        mech = OptimizedUnaryEncoding(1.0, k)
+        categories, probabilities = _skewed_categories(rng, 50_000, k)
+        reports = mech.perturb(categories, rng)
+        estimate = mech.estimate_frequencies(reports)
+        np.testing.assert_allclose(estimate, probabilities, atol=0.02)
+
+    def test_bad_report_shape_rejected(self):
+        mech = OptimizedUnaryEncoding(1.0, 5)
+        with pytest.raises(MechanismError):
+            mech.estimate_frequencies(np.zeros((10, 4)))
+
+    def test_flip_probabilities(self):
+        mech = OptimizedUnaryEncoding(2.0, 5)
+        assert mech.p == 0.5
+        assert mech.q == pytest.approx(1 / (math.exp(2.0) + 1))
+
+
+class TestOLH:
+    def test_report_shape(self, rng):
+        mech = OptimizedLocalHashing(1.0, 8)
+        reports = mech.perturb(rng.integers(0, 8, 100), rng)
+        assert reports.shape == (100, 2)
+        assert reports[:, 1].min() >= 0 and reports[:, 1].max() < mech.g
+
+    def test_hash_domain_size(self):
+        assert OptimizedLocalHashing(1.0, 10).g == int(round(math.e)) + 1
+
+    def test_frequency_estimation_unbiased(self, rng):
+        k = 5
+        mech = OptimizedLocalHashing(2.0, k)
+        categories, probabilities = _skewed_categories(rng, 40_000, k)
+        reports = mech.perturb(categories, rng)
+        estimate = mech.estimate_frequencies(reports)
+        np.testing.assert_allclose(estimate, probabilities, atol=0.03)
+
+    def test_bad_report_shape_rejected(self):
+        with pytest.raises(MechanismError):
+            OptimizedLocalHashing(1.0, 5).estimate_frequencies(np.zeros((10, 3)))
+
+
+class TestPropertyBased:
+    @given(
+        epsilon=st.floats(0.3, 4.0),
+        k=st.integers(2, 12),
+        seed=st.integers(0, 9999),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_krr_estimates_sum_to_about_one(self, epsilon, k, seed):
+        rng = np.random.default_rng(seed)
+        mech = KRandomizedResponse(epsilon, k)
+        categories = rng.integers(0, k, 2_000)
+        reports = mech.perturb(categories, rng)
+        estimate = mech.estimate_frequencies(reports)
+        assert estimate.sum() == pytest.approx(1.0, abs=1e-6)
+
+    @given(epsilon=st.floats(0.3, 4.0), k=st.integers(2, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_krr_p_greater_than_q(self, epsilon, k):
+        mech = KRandomizedResponse(epsilon, k)
+        assert mech.p > mech.q

@@ -1,0 +1,153 @@
+"""Tests for the Duchi, Laplace, Hybrid and Square Wave mechanisms."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ldp.duchi import DuchiMechanism
+from repro.ldp.hybrid import EPSILON_STAR, HybridMechanism
+from repro.ldp.laplace import LaplaceMechanism
+from repro.ldp.square_wave import SquareWaveMechanism
+
+
+class TestDuchi:
+    def test_output_values_are_binary(self, rng):
+        mech = DuchiMechanism(1.0)
+        out = mech.perturb(rng.uniform(-1, 1, 1_000), rng)
+        assert set(np.round(np.abs(out), 10)) == {round(mech.magnitude, 10)}
+
+    def test_magnitude_formula(self):
+        mech = DuchiMechanism(1.0)
+        assert mech.magnitude == pytest.approx((math.e + 1) / (math.e - 1))
+
+    def test_unbiasedness(self, rng):
+        mech = DuchiMechanism(1.5)
+        value = -0.3
+        out = mech.perturb(np.full(80_000, value), rng)
+        assert out.mean() == pytest.approx(value, abs=0.02)
+
+    def test_positive_probability_bounds(self):
+        mech = DuchiMechanism(1.0)
+        probs = mech.positive_probability(np.array([-1.0, 0.0, 1.0]))
+        assert probs[0] == pytest.approx(1 / (math.e + 1))
+        assert probs[1] == pytest.approx(0.5)
+        assert probs[2] == pytest.approx(math.e / (math.e + 1))
+
+    def test_worst_case_variance_at_zero(self):
+        mech = DuchiMechanism(1.0)
+        assert mech.worst_case_variance() == pytest.approx(mech.variance(0.0))
+        assert mech.variance(0.0) > mech.variance(1.0)
+
+
+class TestLaplace:
+    def test_scale(self):
+        assert LaplaceMechanism(2.0).scale == pytest.approx(1.0)
+
+    def test_unbiasedness(self, rng):
+        mech = LaplaceMechanism(1.0)
+        out = mech.perturb(np.full(60_000, 0.25), rng)
+        assert out.mean() == pytest.approx(0.25, abs=0.03)
+
+    def test_variance_independent_of_value(self):
+        mech = LaplaceMechanism(1.0)
+        assert mech.variance(0.0) == mech.variance(1.0) == pytest.approx(2 * mech.scale**2)
+
+    def test_output_domain_contains_input_domain(self):
+        low, high = LaplaceMechanism(1.0).output_domain
+        assert low < -1 and high > 1
+
+
+class TestHybrid:
+    def test_alpha_zero_below_threshold(self):
+        assert HybridMechanism(EPSILON_STAR / 2).alpha == 0.0
+
+    def test_alpha_formula_above_threshold(self):
+        epsilon = 2.0
+        assert HybridMechanism(epsilon).alpha == pytest.approx(1 - math.exp(-epsilon / 2))
+
+    def test_unbiasedness(self, rng):
+        mech = HybridMechanism(1.0)
+        out = mech.perturb(np.full(80_000, 0.4), rng)
+        assert out.mean() == pytest.approx(0.4, abs=0.03)
+
+    def test_output_domain_covers_both_components(self):
+        mech = HybridMechanism(1.0)
+        low, high = mech.output_domain
+        assert high >= mech.piecewise.output_domain[1]
+        assert high >= mech.duchi.output_domain[1]
+
+    def test_variance_between_components_when_mixing(self):
+        mech = HybridMechanism(2.0)
+        mixture = mech.variance(0.5)
+        low = min(mech.piecewise.variance(0.5), mech.duchi.variance(0.5))
+        high = max(mech.piecewise.variance(0.5), mech.duchi.variance(0.5))
+        assert low <= mixture <= high
+
+
+class TestSquareWave:
+    def test_b_positive_and_decreasing_in_epsilon(self):
+        assert SquareWaveMechanism(0.5).b > SquareWaveMechanism(2.0).b > 0
+
+    def test_output_domain(self):
+        mech = SquareWaveMechanism(1.0)
+        assert mech.output_domain == (-mech.b, 1 + mech.b)
+
+    def test_outputs_in_domain(self, rng):
+        mech = SquareWaveMechanism(1.0)
+        out = mech.perturb(rng.uniform(0, 1, 5_000), rng)
+        assert out.min() >= -mech.b - 1e-9
+        assert out.max() <= 1 + mech.b + 1e-9
+
+    def test_ldp_density_ratio(self):
+        epsilon = 1.0
+        mech = SquareWaveMechanism(epsilon)
+        # ratio of window density to background density equals e^eps
+        assert mech._p_high / mech._p_low == pytest.approx(math.exp(epsilon))
+
+    def test_interval_probability_full_domain(self):
+        mech = SquareWaveMechanism(0.8)
+        lo, hi = mech.output_domain
+        assert mech.interval_probability(0.5, lo, hi) == pytest.approx(1.0)
+
+    def test_transition_matrix_columns_sum_to_one(self):
+        mech = SquareWaveMechanism(1.0)
+        lo, hi = mech.output_domain
+        edges = np.linspace(lo, hi, 21)
+        centers = np.linspace(0.05, 0.95, 10)
+        matrix = mech.interval_probability_matrix(centers, edges)
+        np.testing.assert_allclose(matrix.sum(axis=0), 1.0, atol=1e-9)
+
+    def test_distribution_reconstruction_recovers_mean(self, rng):
+        mech = SquareWaveMechanism(2.0)
+        values = rng.beta(2, 5, 20_000)
+        reports = mech.perturb(values, rng)
+        estimate = mech.estimate_mean(reports, n_input_buckets=64)
+        assert estimate == pytest.approx(values.mean(), abs=0.05)
+
+    def test_reconstruct_distribution_returns_probability_vector(self, rng):
+        mech = SquareWaveMechanism(1.0)
+        reports = mech.perturb(rng.uniform(0, 1, 5_000), rng)
+        histogram, grid = mech.reconstruct_distribution(reports, n_input_buckets=32)
+        assert histogram.size == grid.n_buckets == 32
+        assert histogram.sum() == pytest.approx(1.0)
+        assert histogram.min() >= 0
+
+
+class TestPropertyBased:
+    @given(epsilon=st.floats(0.2, 3.0), value=st.floats(0, 1), seed=st.integers(0, 9999))
+    @settings(max_examples=30, deadline=None)
+    def test_sw_report_in_domain(self, epsilon, value, seed):
+        mech = SquareWaveMechanism(epsilon)
+        out = mech.perturb(np.array([value]), seed)
+        lo, hi = mech.output_domain
+        assert lo - 1e-9 <= out[0] <= hi + 1e-9
+
+    @given(epsilon=st.floats(0.2, 3.0), value=st.floats(-1, 1), seed=st.integers(0, 9999))
+    @settings(max_examples=30, deadline=None)
+    def test_duchi_report_is_one_of_two_values(self, epsilon, value, seed):
+        mech = DuchiMechanism(epsilon)
+        out = mech.perturb(np.array([value]), seed)
+        assert abs(out[0]) == pytest.approx(mech.magnitude)

@@ -1,0 +1,178 @@
+"""Tests for the Piecewise Mechanism."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ldp.base import MechanismError
+from repro.ldp.piecewise import PiecewiseMechanism
+
+
+class TestGeometry:
+    def test_c_formula(self):
+        mech = PiecewiseMechanism(1.0)
+        half = math.exp(0.5)
+        assert mech.C == pytest.approx((half + 1) / (half - 1))
+
+    def test_output_domain_symmetric(self):
+        mech = PiecewiseMechanism(0.5)
+        low, high = mech.output_domain
+        assert low == -high == -mech.C
+
+    def test_c_grows_as_epsilon_shrinks(self):
+        assert PiecewiseMechanism(0.1).C > PiecewiseMechanism(1.0).C > PiecewiseMechanism(4.0).C
+
+    def test_high_band_width_is_c_minus_one(self):
+        mech = PiecewiseMechanism(1.0)
+        left, right = mech.high_band(np.array([0.3]))
+        assert right[0] - left[0] == pytest.approx(mech.C - 1.0)
+
+    def test_high_band_inside_output_domain(self):
+        mech = PiecewiseMechanism(0.5)
+        for v in (-1.0, 0.0, 1.0):
+            left, right = mech.high_band(np.array([v]))
+            assert left[0] >= -mech.C - 1e-9
+            assert right[0] <= mech.C + 1e-9
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            PiecewiseMechanism(0.0)
+        with pytest.raises(ValueError):
+            PiecewiseMechanism(-1.0)
+
+
+class TestPerturbation:
+    def test_outputs_in_domain(self, rng):
+        mech = PiecewiseMechanism(1.0)
+        values = rng.uniform(-1, 1, 5_000)
+        out = mech.perturb(values, rng)
+        assert out.min() >= -mech.C - 1e-9
+        assert out.max() <= mech.C + 1e-9
+
+    def test_unbiasedness(self, rng):
+        mech = PiecewiseMechanism(2.0)
+        value = 0.4
+        out = mech.perturb(np.full(60_000, value), rng)
+        assert out.mean() == pytest.approx(value, abs=0.02)
+
+    def test_mean_estimation_over_population(self, rng):
+        mech = PiecewiseMechanism(1.0)
+        values = rng.uniform(-0.5, 0.5, 40_000)
+        out = mech.perturb(values, rng)
+        assert mech.estimate_mean(out) == pytest.approx(values.mean(), abs=0.03)
+
+    def test_out_of_domain_input_rejected(self, rng):
+        mech = PiecewiseMechanism(1.0)
+        with pytest.raises(MechanismError):
+            mech.perturb(np.array([1.5]), rng)
+
+    def test_deterministic_given_seed(self):
+        mech = PiecewiseMechanism(1.0)
+        values = np.linspace(-1, 1, 100)
+        np.testing.assert_array_equal(mech.perturb(values, 3), mech.perturb(values, 3))
+
+    def test_empty_input(self, rng):
+        assert PiecewiseMechanism(1.0).perturb(np.array([]), rng).size == 0
+
+    def test_estimate_mean_empty_raises(self):
+        with pytest.raises(MechanismError):
+            PiecewiseMechanism(1.0).estimate_mean(np.array([]))
+
+
+class TestDensities:
+    def test_pdf_ratio_satisfies_ldp(self):
+        epsilon = 1.2
+        mech = PiecewiseMechanism(epsilon)
+        # any output value, any two inputs: density ratio bounded by e^eps
+        outputs = np.linspace(-mech.C + 1e-6, mech.C - 1e-6, 25)
+        inputs = np.linspace(-1, 1, 9)
+        for y in outputs:
+            densities = [mech.pdf(y, v) for v in inputs]
+            assert max(densities) / min(densities) <= math.exp(epsilon) + 1e-9
+
+    def test_pdf_outside_domain_is_zero(self):
+        mech = PiecewiseMechanism(1.0)
+        assert mech.pdf(mech.C + 1.0, 0.0) == 0.0
+
+    def test_interval_probability_full_domain_is_one(self):
+        mech = PiecewiseMechanism(0.7)
+        assert mech.interval_probability(0.3, -mech.C, mech.C) == pytest.approx(1.0)
+
+    def test_interval_probability_matches_empirical(self, rng):
+        mech = PiecewiseMechanism(1.0)
+        value, lo, hi = 0.2, 0.0, 1.0
+        analytic = mech.interval_probability(value, lo, hi)
+        samples = mech.perturb(np.full(60_000, value), rng)
+        empirical = np.mean((samples >= lo) & (samples <= hi))
+        assert analytic == pytest.approx(empirical, abs=0.01)
+
+    def test_interval_probability_matrix_columns_sum_to_one(self):
+        mech = PiecewiseMechanism(0.5)
+        edges = np.linspace(-mech.C, mech.C, 33)
+        centers = np.linspace(-0.9, 0.9, 7)
+        matrix = mech.interval_probability_matrix(centers, edges)
+        np.testing.assert_allclose(matrix.sum(axis=0), 1.0, atol=1e-9)
+
+    def test_interval_probability_matrix_matches_scalar(self):
+        mech = PiecewiseMechanism(1.0)
+        edges = np.linspace(-mech.C, mech.C, 9)
+        centers = np.array([-0.5, 0.5])
+        matrix = mech.interval_probability_matrix(centers, edges)
+        for i in range(8):
+            for k, v in enumerate(centers):
+                assert matrix[i, k] == pytest.approx(
+                    mech.interval_probability(v, edges[i], edges[i + 1])
+                )
+
+
+class TestVariance:
+    def test_worst_case_formula(self):
+        epsilon = 1.0
+        mech = PiecewiseMechanism(epsilon)
+        half = math.exp(epsilon / 2)
+        expected = 1 / (half - 1) + (half + 3) / (3 * (half - 1) ** 2)
+        assert mech.worst_case_variance() == pytest.approx(expected)
+
+    def test_variance_increases_with_magnitude(self):
+        mech = PiecewiseMechanism(1.0)
+        assert mech.variance(1.0) > mech.variance(0.0)
+
+    def test_empirical_variance_close_to_analytic(self, rng):
+        mech = PiecewiseMechanism(1.0)
+        value = 1.0
+        samples = mech.perturb(np.full(80_000, value), rng)
+        assert samples.var() == pytest.approx(mech.variance(value), rel=0.05)
+
+    def test_variance_decreases_with_epsilon(self):
+        assert (
+            PiecewiseMechanism(0.5).worst_case_variance()
+            > PiecewiseMechanism(2.0).worst_case_variance()
+        )
+
+
+class TestPropertyBased:
+    @given(
+        epsilon=st.floats(0.1, 4.0, allow_nan=False),
+        value=st.floats(-1, 1, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_high_band_contains_scaled_value(self, epsilon, value):
+        mech = PiecewiseMechanism(epsilon)
+        left, right = mech.high_band(np.array([value]))
+        scaled = (mech.C + 1) / 2 * value - (mech.C - 1) / 2
+        assert left[0] == pytest.approx(scaled)
+        assert left[0] <= right[0]
+
+    @given(
+        epsilon=st.floats(0.1, 4.0, allow_nan=False),
+        value=st.floats(-1, 1, allow_nan=False),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_single_report_in_domain(self, epsilon, value, seed):
+        mech = PiecewiseMechanism(epsilon)
+        out = mech.perturb(np.array([value]), seed)
+        assert -mech.C - 1e-9 <= out[0] <= mech.C + 1e-9

@@ -1,0 +1,151 @@
+"""Hypothesis property tests on the library's core invariants.
+
+These complement the per-module property tests with cross-cutting invariants:
+LDP guarantees, EM mass conservation, protocol output ranges and the
+equivalence invariant of Theorem 1.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import BiasedByzantineAttack, GeneralByzantineAttack, PoisonRange
+from repro.attacks.reduction import reduce_gba_to_bba, total_deviation
+from repro.core.aggregation import aggregation_weights
+from repro.core.emf import run_emf
+from repro.core.emf_star import run_emf_star
+from repro.core.mean_estimation import corrected_mean
+from repro.core.transform import build_transform_matrix
+from repro.ldp import DuchiMechanism, KRandomizedResponse, PiecewiseMechanism
+
+COMMON_SETTINGS = dict(
+    deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestLDPGuarantees:
+    @given(
+        epsilon=st.floats(0.2, 3.0),
+        x1=st.floats(-1, 1),
+        x2=st.floats(-1, 1),
+        lo=st.floats(-0.9, 0.8),
+        width=st.floats(0.05, 1.0),
+    )
+    @settings(max_examples=60, **COMMON_SETTINGS)
+    def test_pm_interval_probabilities_respect_epsilon(self, epsilon, x1, x2, lo, width):
+        """For any output interval, probabilities under two inputs differ by
+        at most e^epsilon — the definition of epsilon-LDP."""
+        mech = PiecewiseMechanism(epsilon)
+        hi = lo + width
+        p1 = mech.interval_probability(x1, lo, hi)
+        p2 = mech.interval_probability(x2, lo, hi)
+        if p1 > 0 and p2 > 0:
+            assert p1 / p2 <= math.exp(epsilon) * (1 + 1e-9)
+            assert p2 / p1 <= math.exp(epsilon) * (1 + 1e-9)
+
+    @given(epsilon=st.floats(0.2, 3.0), k=st.integers(2, 10))
+    @settings(max_examples=40, **COMMON_SETTINGS)
+    def test_krr_probability_ratio_is_exactly_epsilon(self, epsilon, k):
+        mech = KRandomizedResponse(epsilon, k)
+        assert mech.p / mech.q == pytest.approx(math.exp(epsilon))
+
+    @given(epsilon=st.floats(0.2, 3.0))
+    @settings(max_examples=40, **COMMON_SETTINGS)
+    def test_duchi_output_probabilities_respect_epsilon(self, epsilon):
+        mech = DuchiMechanism(epsilon)
+        p_max = float(mech.positive_probability(np.array([1.0]))[0])
+        p_min = float(mech.positive_probability(np.array([-1.0]))[0])
+        assert p_max / p_min <= math.exp(epsilon) * (1 + 1e-9)
+
+
+class TestEMFInvariants:
+    @given(
+        epsilon=st.floats(0.2, 2.0),
+        gamma=st.floats(0.0, 0.45),
+        seed=st.integers(0, 500),
+    )
+    @settings(max_examples=15, **COMMON_SETTINGS)
+    def test_emf_output_is_probability_vector(self, epsilon, gamma, seed):
+        rng = np.random.default_rng(seed)
+        mech = PiecewiseMechanism(epsilon)
+        n_normal, n_total = 1_500, 2_000
+        n_byz = int(round(n_total * gamma))
+        values = rng.uniform(-0.8, 0.8, n_normal)
+        reports = [mech.perturb(values, rng)]
+        if n_byz:
+            reports.append(
+                BiasedByzantineAttack(PoisonRange.of_c(0.5, 1.0)).poison_reports(
+                    n_byz, mech, 0.0, rng
+                ).reports
+            )
+        reports = np.concatenate(reports)
+        transform = build_transform_matrix(mech, 8, 24, "right", 0.0)
+        result = run_emf(transform, reports=reports, epsilon=epsilon)
+        total = result.normal_histogram.sum() + result.poison_histogram.sum()
+        assert total == pytest.approx(1.0, abs=1e-6)
+        assert 0.0 <= result.gamma_hat <= 1.0
+        lo, hi = mech.output_domain
+        assert lo <= result.poison_mean <= hi
+
+    @given(gamma=st.floats(0.0, 0.9), seed=st.integers(0, 500))
+    @settings(max_examples=15, **COMMON_SETTINGS)
+    def test_emf_star_respects_any_gamma_constraint(self, gamma, seed):
+        rng = np.random.default_rng(seed)
+        mech = PiecewiseMechanism(1.0)
+        reports = mech.perturb(rng.uniform(-1, 1, 1_500), rng)
+        transform = build_transform_matrix(mech, 8, 24, "right", 0.0)
+        result = run_emf_star(transform, gamma_hat=gamma, reports=reports, epsilon=1.0)
+        assert result.gamma_hat == pytest.approx(gamma, abs=1e-6)
+
+
+class TestEstimatorInvariants:
+    @given(
+        gamma=st.floats(0, 0.9),
+        poison_mean=st.floats(-5, 5),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=50, **COMMON_SETTINGS)
+    def test_corrected_mean_always_clipped(self, gamma, poison_mean, seed):
+        rng = np.random.default_rng(seed)
+        reports = rng.uniform(-3, 3, 200)
+        estimate = corrected_mean(reports, gamma, poison_mean)
+        assert -1.0 <= estimate <= 1.0
+
+    @given(
+        epsilons=st.lists(st.floats(0.2, 3.0), min_size=1, max_size=6),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=50, **COMMON_SETTINGS)
+    def test_aggregation_weights_are_distribution(self, epsilons, seed):
+        rng = np.random.default_rng(seed)
+        counts = rng.uniform(0, 200, len(epsilons))
+        weights = aggregation_weights(epsilons, counts)
+        assert weights.min() >= 0
+        assert weights.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+class TestTheorem1Invariant:
+    @given(
+        n_left=st.integers(0, 30),
+        n_right=st.integers(0, 30),
+        seed=st.integers(0, 1000),
+        epsilon=st.floats(0.3, 2.0),
+    )
+    @settings(max_examples=50, **COMMON_SETTINGS)
+    def test_any_gba_reduces_to_one_sided_attack(self, n_left, n_right, seed, epsilon):
+        rng = np.random.default_rng(seed)
+        mech = PiecewiseMechanism(epsilon)
+        lo, hi = mech.output_domain
+        reports = np.concatenate(
+            [rng.uniform(lo, 0, n_left), rng.uniform(0, hi, n_right)]
+        )
+        reduced = reduce_gba_to_bba(reports, 0.0, lo, hi)
+        assert total_deviation(reduced, 0.0) == pytest.approx(
+            total_deviation(reports, 0.0), abs=1e-6 * max(1, abs(hi))
+        )
+        assert not (np.any(reduced > 1e-9) and np.any(reduced < -1e-9))
+        if reduced.size:
+            assert reduced.min() >= lo - 1e-9 and reduced.max() <= hi + 1e-9

@@ -1,0 +1,127 @@
+"""Tests for repro.utils.discretization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.discretization import BucketGrid, bucket_centers, bucketize
+
+
+class TestBucketGridConstruction:
+    def test_edges_cover_domain(self):
+        grid = BucketGrid(-1.0, 1.0, 4)
+        np.testing.assert_allclose(grid.edges, [-1.0, -0.5, 0.0, 0.5, 1.0])
+
+    def test_width(self):
+        assert BucketGrid(0.0, 1.0, 10).width == pytest.approx(0.1)
+
+    def test_centers(self):
+        grid = BucketGrid(0.0, 1.0, 2)
+        np.testing.assert_allclose(grid.centers, [0.25, 0.75])
+
+    def test_invalid_domain_raises(self):
+        with pytest.raises(ValueError):
+            BucketGrid(1.0, -1.0, 4)
+
+    def test_invalid_bucket_count_raises(self):
+        with pytest.raises(ValueError):
+            BucketGrid(0.0, 1.0, 0)
+
+    def test_len(self):
+        assert len(BucketGrid(0.0, 1.0, 7)) == 7
+
+    def test_bucket_bounds(self):
+        grid = BucketGrid(0.0, 1.0, 4)
+        assert grid.bucket_bounds(1) == (0.25, 0.5)
+
+    def test_bucket_bounds_out_of_range(self):
+        with pytest.raises(IndexError):
+            BucketGrid(0.0, 1.0, 4).bucket_bounds(4)
+
+
+class TestAssignment:
+    def test_interior_values(self):
+        grid = BucketGrid(0.0, 1.0, 4)
+        np.testing.assert_array_equal(grid.assign(np.array([0.1, 0.3, 0.6, 0.9])), [0, 1, 2, 3])
+
+    def test_boundary_values_clipped(self):
+        grid = BucketGrid(0.0, 1.0, 4)
+        assert grid.assign(np.array([1.0]))[0] == 3
+        assert grid.assign(np.array([-5.0]))[0] == 0
+        assert grid.assign(np.array([5.0]))[0] == 3
+
+    def test_counts_sum_to_n(self):
+        grid = BucketGrid(-1.0, 1.0, 8)
+        values = np.linspace(-1, 1, 100)
+        assert grid.counts(values).sum() == 100
+
+    def test_frequencies_sum_to_one(self):
+        grid = BucketGrid(-1.0, 1.0, 8)
+        values = np.random.default_rng(0).uniform(-1, 1, 50)
+        assert grid.frequencies(values).sum() == pytest.approx(1.0)
+
+    def test_frequencies_of_empty_input_are_uniform(self):
+        grid = BucketGrid(-1.0, 1.0, 4)
+        np.testing.assert_allclose(grid.frequencies(np.array([])), 0.25)
+
+
+class TestHalves:
+    def test_right_half_default_split(self):
+        grid = BucketGrid(-2.0, 2.0, 10)
+        right = grid.right_half()
+        assert right.low == 0.0 and right.high == 2.0
+        assert right.n_buckets == 5
+
+    def test_left_half_default_split(self):
+        grid = BucketGrid(-2.0, 2.0, 10)
+        left = grid.left_half()
+        assert left.low == -2.0 and left.high == 0.0
+
+    def test_asymmetric_split_bucket_count(self):
+        grid = BucketGrid(-2.0, 2.0, 10)
+        right = grid.right_half(split=1.0)
+        # a quarter of the domain gets ceil(10 * 0.25) buckets
+        assert right.n_buckets == 3
+
+    def test_invalid_split_raises(self):
+        grid = BucketGrid(-1.0, 1.0, 4)
+        with pytest.raises(ValueError):
+            grid.right_half(split=2.0)
+        with pytest.raises(ValueError):
+            grid.left_half(split=-2.0)
+
+
+class TestConvenienceFunctions:
+    def test_bucketize(self):
+        np.testing.assert_array_equal(bucketize(np.array([0.1, 0.9]), 0, 1, 2), [0, 1])
+
+    def test_bucket_centers(self):
+        np.testing.assert_allclose(bucket_centers(0, 1, 2), [0.25, 0.75])
+
+
+class TestPropertyBased:
+    @given(
+        values=st.lists(st.floats(-1, 1, allow_nan=False), min_size=1, max_size=50),
+        n_buckets=st.integers(1, 30),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_assignment_always_in_range(self, values, n_buckets):
+        grid = BucketGrid(-1.0, 1.0, n_buckets)
+        idx = grid.assign(np.array(values))
+        assert idx.min() >= 0 and idx.max() < n_buckets
+
+    @given(
+        values=st.lists(st.floats(-1, 1, allow_nan=False), min_size=1, max_size=50),
+        n_buckets=st.integers(1, 30),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_counts_preserve_total(self, values, n_buckets):
+        grid = BucketGrid(-1.0, 1.0, n_buckets)
+        assert grid.counts(np.array(values)).sum() == len(values)
+
+    @given(n_buckets=st.integers(1, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_centers_inside_domain(self, n_buckets):
+        grid = BucketGrid(-1.0, 1.0, n_buckets)
+        assert grid.centers.min() > -1.0 and grid.centers.max() < 1.0

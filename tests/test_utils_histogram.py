@@ -1,0 +1,117 @@
+"""Tests for repro.utils.histogram."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.discretization import BucketGrid
+from repro.utils.histogram import (
+    cumulative_distribution,
+    histogram_counts,
+    histogram_mean,
+    histogram_variance,
+    normalize_histogram,
+    rebin_histogram,
+)
+
+
+class TestNormalizeHistogram:
+    def test_sums_to_one(self):
+        assert normalize_histogram(np.array([1.0, 3.0])).sum() == pytest.approx(1.0)
+
+    def test_zero_histogram_becomes_uniform(self):
+        np.testing.assert_allclose(normalize_histogram(np.zeros(4)), 0.25)
+
+    def test_negative_entries_clipped(self):
+        out = normalize_histogram(np.array([-1.0, 1.0]))
+        assert out.min() >= 0.0
+        assert out.sum() == pytest.approx(1.0)
+
+
+class TestHistogramMean:
+    def test_simple_mean(self):
+        freq = np.array([0.5, 0.5])
+        centers = np.array([-1.0, 1.0])
+        assert histogram_mean(freq, centers) == pytest.approx(0.0)
+
+    def test_weighted_mean(self):
+        freq = np.array([0.25, 0.75])
+        centers = np.array([0.0, 1.0])
+        assert histogram_mean(freq, centers) == pytest.approx(0.75)
+
+    def test_unnormalised_frequencies_handled(self):
+        freq = np.array([1.0, 3.0])
+        centers = np.array([0.0, 1.0])
+        assert histogram_mean(freq, centers) == pytest.approx(0.75)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            histogram_mean(np.array([1.0]), np.array([0.0, 1.0]))
+
+
+class TestHistogramVariance:
+    def test_uniform_histogram_has_zero_frequency_variance(self):
+        assert histogram_variance(np.full(10, 0.1)) == pytest.approx(0.0)
+
+    def test_concentrated_histogram_has_larger_variance(self):
+        uniform = histogram_variance(np.full(10, 0.1))
+        spiked = histogram_variance(np.array([0.91] + [0.01] * 9))
+        assert spiked > uniform
+
+    def test_value_variance_with_centers(self):
+        freq = np.array([0.5, 0.5])
+        centers = np.array([-1.0, 1.0])
+        assert histogram_variance(freq, centers) == pytest.approx(1.0)
+
+
+class TestRebinHistogram:
+    def test_identity_rebin(self):
+        grid = BucketGrid(0.0, 1.0, 4)
+        freq = np.array([0.1, 0.2, 0.3, 0.4])
+        np.testing.assert_allclose(rebin_histogram(freq, grid, grid), freq)
+
+    def test_mass_preserved_when_coarsening(self):
+        fine = BucketGrid(0.0, 1.0, 8)
+        coarse = BucketGrid(0.0, 1.0, 2)
+        freq = np.full(8, 0.125)
+        out = rebin_histogram(freq, fine, coarse)
+        assert out.sum() == pytest.approx(1.0)
+        np.testing.assert_allclose(out, [0.5, 0.5])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            rebin_histogram(np.ones(3), BucketGrid(0, 1, 4), BucketGrid(0, 1, 2))
+
+
+class TestHistogramCountsAndCdf:
+    def test_histogram_counts(self, rng):
+        grid = BucketGrid(-1.0, 1.0, 10)
+        values = rng.uniform(-1, 1, 200)
+        assert histogram_counts(values, grid).sum() == 200
+
+    def test_cumulative_distribution_monotone(self):
+        cdf = cumulative_distribution(np.array([1.0, 2.0, 3.0]))
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[-1] == pytest.approx(1.0)
+
+
+class TestPropertyBased:
+    @given(
+        counts=st.lists(st.floats(0, 100, allow_nan=False), min_size=2, max_size=30)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_normalize_output_is_probability_vector(self, counts):
+        out = normalize_histogram(np.array(counts))
+        assert out.min() >= 0
+        assert out.sum() == pytest.approx(1.0, abs=1e-9)
+
+    @given(
+        freq=st.lists(st.floats(0.01, 1, allow_nan=False), min_size=2, max_size=20)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mean_within_center_range(self, freq):
+        freq = np.array(freq)
+        centers = np.linspace(-1, 1, freq.size)
+        mean = histogram_mean(freq, centers)
+        assert -1.0 <= mean <= 1.0

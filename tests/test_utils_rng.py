@@ -1,0 +1,63 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_seed, ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert ensure_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        assert isinstance(ensure_rng(seq), np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(ensure_rng(1).random(5), ensure_rng(2).random(5))
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 4)) == 4
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent(self):
+        children = spawn_rngs(0, 2)
+        assert not np.array_equal(children[0].random(10), children[1].random(10))
+
+    def test_reproducible_from_seed(self):
+        a = [g.random(3).tolist() for g in spawn_rngs(5, 3)]
+        b = [g.random(3).tolist() for g in spawn_rngs(5, 3)]
+        assert a == b
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(3, salt=1) == derive_seed(3, salt=1)
+
+    def test_salt_changes_seed(self):
+        assert derive_seed(3, salt=1) != derive_seed(3, salt=2)
+
+    def test_within_int32(self):
+        assert 0 <= derive_seed(3) < 2**31

@@ -1,0 +1,119 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_array_in_interval,
+    check_fraction,
+    check_in_interval,
+    check_integer,
+    check_positive,
+    check_probability_vector,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive(0.0, "x")
+
+    def test_accepts_zero_when_not_strict(self):
+        assert check_positive(0.0, "x", strict=False) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive(-1.0, "x", strict=False)
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError):
+            check_positive(float("nan"), "x")
+        with pytest.raises(ValueError):
+            check_positive(float("inf"), "x")
+
+
+class TestCheckFraction:
+    def test_accepts_bounds_inclusive(self):
+        assert check_fraction(0.0, "f") == 0.0
+        assert check_fraction(1.0, "f") == 1.0
+
+    def test_rejects_bounds_exclusive(self):
+        with pytest.raises(ValueError):
+            check_fraction(0.0, "f", inclusive=False)
+        with pytest.raises(ValueError):
+            check_fraction(1.0, "f", inclusive=False)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_fraction(1.5, "f")
+
+
+class TestCheckInInterval:
+    def test_accepts_inside(self):
+        assert check_in_interval(0.5, 0, 1, "x") == 0.5
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_interval(2.0, 0, 1, "x")
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            check_in_interval(0.0, 0, 1, "x", inclusive=False)
+
+
+class TestCheckArrayInInterval:
+    def test_accepts_and_clips_epsilon_excursions(self):
+        out = check_array_in_interval([0.0, 1.0 + 1e-12], 0, 1, "a")
+        assert out.max() <= 1.0
+
+    def test_rejects_far_outside(self):
+        with pytest.raises(ValueError):
+            check_array_in_interval([0.0, 2.0], 0, 1, "a")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_array_in_interval([np.nan], 0, 1, "a")
+
+    def test_empty_ok(self):
+        assert check_array_in_interval([], 0, 1, "a").size == 0
+
+
+class TestCheckProbabilityVector:
+    def test_accepts_valid(self):
+        out = check_probability_vector([0.25, 0.75], "p")
+        np.testing.assert_allclose(out.sum(), 1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([-0.1, 1.1], "p")
+
+    def test_rejects_wrong_sum(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([0.2, 0.2], "p")
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([[0.5, 0.5]], "p")
+
+
+class TestCheckInteger:
+    def test_accepts_int(self):
+        assert check_integer(5, "n") == 5
+
+    def test_accepts_numpy_integer(self):
+        assert check_integer(np.int64(5), "n") == 5
+
+    def test_rejects_float(self):
+        with pytest.raises(ValueError):
+            check_integer(5.0, "n")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValueError):
+            check_integer(True, "n")
+
+    def test_minimum_enforced(self):
+        with pytest.raises(ValueError):
+            check_integer(1, "n", minimum=2)
