@@ -45,7 +45,7 @@ from repro.core import (
 )
 from repro.ldp import PiecewiseMechanism, SquareWaveMechanism, KRandomizedResponse
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BaselineProtocol",

@@ -36,7 +36,7 @@ from repro.core.emf import EMFResult, run_emf
 from repro.core.emf_star import run_emf_star
 from repro.core.features import estimate_byzantine_features
 from repro.core.mean_estimation import corrected_mean
-from repro.core.transform import build_transform_matrix, default_bucket_counts
+from repro.core.transform import cached_transform_matrix, default_bucket_counts
 from repro.ldp.base import NumericalMechanism
 from repro.ldp.budget import dap_budget_ladder
 from repro.ldp.piecewise import PiecewiseMechanism
@@ -319,10 +319,19 @@ class DAPProtocol:
         gamma_global = features.gamma_hat
 
         # --- stage 4: per-group reconstruction + corrected mean ------------------
+        # The probing stage already ran EMF on the probe group with the exact
+        # transform, counts and tolerance stage 4 would use (the paper's tau
+        # applies to both), so its reconstruction is reused instead of being
+        # recomputed.  The distribution route tightens the tolerance, so it
+        # cannot reuse the probe run.
+        reusable = features.emf if self.config.intra_group_mean == "corrected_sum" else None
         estimates: List[GroupEstimate] = []
         for group in groups:
+            reuse = reusable if group is probe_group else None
             estimates.append(
-                self._estimate_group(group, side=side, gamma_global=gamma_global)
+                self._estimate_group(
+                    group, side=side, gamma_global=gamma_global, reuse_emf=reuse
+                )
             )
 
         # --- stage 5: minimum-variance aggregation -------------------------------
@@ -346,25 +355,49 @@ class DAPProtocol:
         )
 
     def _estimate_group(
-        self, group: GroupCollection, side: str, gamma_global: float
+        self,
+        group: GroupCollection,
+        side: str,
+        gamma_global: float,
+        reuse_emf: EMFResult | None = None,
     ) -> GroupEstimate:
-        """Stage 4 for one group: reconstruct, correct, convert to users."""
+        """Stage 4 for one group: reconstruct, correct, convert to users.
+
+        ``reuse_emf`` short-circuits the plain EMF run when the caller already
+        holds a reconstruction of this group against the same transform (the
+        probing stage produces exactly that for the probe group).  The reuse
+        is rejected unless the transform geometry matches, so results are
+        identical with or without it.
+        """
         mechanism = self.mechanism_for(group.epsilon)
         d_in, d_out = self._bucket_counts(group)
-        transform = build_transform_matrix(
-            mechanism,
-            n_input_buckets=d_in,
-            n_output_buckets=d_out,
-            side=side,
-            reference_mean=self.config.reference_mean,
-        )
+        if reuse_emf is not None and not self._transform_matches(
+            reuse_emf, d_in, d_out, side
+        ):
+            reuse_emf = None
+        if reuse_emf is not None:
+            transform = reuse_emf.transform
+        else:
+            transform = cached_transform_matrix(
+                mechanism,
+                n_input_buckets=d_in,
+                n_output_buckets=d_out,
+                side=side,
+                reference_mean=self.config.reference_mean,
+            )
         counts = transform.output_counts(group.reports)
 
         # the distribution route needs a sharply converged histogram, so it
         # tightens the paper's probing tolerance tau = 0.01 * e^eps
         tol = 1e-6 if self.config.intra_group_mean == "distribution" else None
 
-        emf = run_emf(transform, counts=counts, epsilon=group.epsilon, tol=tol)
+        # plain EMF is only an input to the "emf" and "cemf_star" estimators;
+        # EMF* re-runs EM from scratch with its constrained M-step
+        emf: EMFResult | None = None
+        if self.config.estimator in ("emf", "cemf_star"):
+            emf = reuse_emf or run_emf(
+                transform, counts=counts, epsilon=group.epsilon, tol=tol
+            )
         if self.config.estimator == "emf":
             reconstruction = emf
         elif self.config.estimator == "emf_star":
@@ -410,6 +443,19 @@ class DAPProtocol:
             n_reports=group.n_reports,
             n_normal_estimate=n_normal_estimate,
             emf=reconstruction,
+        )
+
+    def _transform_matches(
+        self, emf: EMFResult, d_in: int, d_out: int, side: str
+    ) -> bool:
+        """Whether an existing reconstruction used this group's exact transform."""
+        transform = emf.transform
+        reference = self.config.reference_mean
+        return (
+            transform.input_grid.n_buckets == d_in
+            and transform.output_grid.n_buckets == d_out
+            and transform.side == side
+            and (reference is None or transform.reference_mean == float(reference))
         )
 
     def _bucket_counts(self, group: GroupCollection) -> tuple[int, int]:

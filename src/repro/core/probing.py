@@ -17,7 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.emf import DEFAULT_MAX_ITER, EMFResult, run_emf
-from repro.core.transform import TransformMatrix, build_transform_matrix
+from repro.core.transform import TransformMatrix, cached_transform_matrix
 
 
 @dataclass
@@ -84,7 +84,7 @@ def probe_poisoned_side(
 
     results = {}
     for side in ("left", "right"):
-        transform = build_transform_matrix(
+        transform = cached_transform_matrix(
             mechanism,
             n_input_buckets=n_input_buckets,
             n_output_buckets=n_output_buckets,

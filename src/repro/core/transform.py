@@ -31,6 +31,7 @@ from typing import Protocol, Tuple
 import numpy as np
 
 from repro.utils.discretization import BucketGrid
+from repro.utils.transform_cache import cached_matrix, mechanism_cache_key
 from repro.utils.validation import check_integer
 
 
@@ -144,6 +145,7 @@ def build_transform_matrix(
     n_output_buckets: int,
     side: str = "right",
     reference_mean: float | None = None,
+    use_cache: bool = False,
 ) -> TransformMatrix:
     """Build the transform matrix ``M`` for a mechanism.
 
@@ -161,6 +163,11 @@ def build_transform_matrix(
         The pessimistic mean ``O'`` splitting the output domain; defaults to
         the centre of the output domain (0 for PM, 0.5 for SW), matching the
         paper's simplification ``O' = 0``.
+    use_cache:
+        Serve the normal block from the process-local transform cache.  The
+        block depends only on ``(mechanism type, epsilon, d, d')``, so sweeps
+        that rebuild the same matrix per trial hit the cache after the first
+        build; a fresh copy is returned on every call.
     """
     if side not in ("left", "right"):
         raise ValueError(f"side must be 'left' or 'right', got {side!r}")
@@ -180,9 +187,20 @@ def build_transform_matrix(
     input_grid = BucketGrid(in_low, in_high, n_input_buckets)
     output_grid = BucketGrid(out_low, out_high, n_output_buckets)
 
-    normal_block = mechanism.interval_probability_matrix(
-        input_grid.centers, output_grid.edges
-    )
+    if use_cache:
+        key = mechanism_cache_key(mechanism) + (
+            "normal_block", n_input_buckets, n_output_buckets
+        )
+        normal_block = cached_matrix(
+            key,
+            lambda: mechanism.interval_probability_matrix(
+                input_grid.centers, output_grid.edges
+            ),
+        )
+    else:
+        normal_block = mechanism.interval_probability_matrix(
+            input_grid.centers, output_grid.edges
+        )
 
     centers = output_grid.centers
     if side == "right":
@@ -209,4 +227,33 @@ def build_transform_matrix(
     )
 
 
-__all__ = ["TransformMatrix", "build_transform_matrix", "default_bucket_counts"]
+def cached_transform_matrix(
+    mechanism: _SupportsTransitionMatrix,
+    n_input_buckets: int,
+    n_output_buckets: int,
+    side: str = "right",
+    reference_mean: float | None = None,
+) -> TransformMatrix:
+    """:func:`build_transform_matrix` backed by the process-local cache.
+
+    Numerically identical to an uncached build; the expensive normal block
+    (the mechanism's interval-probability matrix over the grids) is computed
+    once per ``(mechanism type, epsilon, d, d')`` per process.  The returned
+    ``TransformMatrix`` owns its arrays — callers may mutate them freely.
+    """
+    return build_transform_matrix(
+        mechanism,
+        n_input_buckets=n_input_buckets,
+        n_output_buckets=n_output_buckets,
+        side=side,
+        reference_mean=reference_mean,
+        use_cache=True,
+    )
+
+
+__all__ = [
+    "TransformMatrix",
+    "build_transform_matrix",
+    "cached_transform_matrix",
+    "default_bucket_counts",
+]

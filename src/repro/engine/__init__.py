@@ -1,0 +1,49 @@
+"""Unified parallel experiment engine.
+
+The engine separates *what* an experiment is from *how* it runs:
+
+* :mod:`repro.engine.spec` — :class:`ExperimentSpec`, the declarative
+  description (points, factories, scale, seed) every figure driver builds;
+* :mod:`repro.engine.executor` — :func:`run_experiment`, which fans work
+  units out over a process pool (serial fallback included) with pre-drawn
+  seeds so results are bit-identical for any worker count;
+* :mod:`repro.engine.store` — columnar JSON run artifacts with load / resume;
+* :mod:`repro.engine.factories` — picklable point -> component factories.
+"""
+
+from repro.engine.executor import (
+    AUTO_WORKERS,
+    draw_seed_matrix,
+    resolve_workers,
+    run_experiment,
+)
+from repro.engine.factories import (
+    DatasetLookup,
+    FixedAttack,
+    FixedDataset,
+    FixedEpsilonSchemes,
+    PointKey,
+    PoisonRangeAttack,
+    SchemesByName,
+)
+from repro.engine.spec import ExperimentSpec, PointSpec
+from repro.engine.store import RunArtifact, load_run, save_run
+
+__all__ = [
+    "AUTO_WORKERS",
+    "ExperimentSpec",
+    "PointSpec",
+    "RunArtifact",
+    "DatasetLookup",
+    "FixedAttack",
+    "FixedDataset",
+    "FixedEpsilonSchemes",
+    "PointKey",
+    "PoisonRangeAttack",
+    "SchemesByName",
+    "draw_seed_matrix",
+    "load_run",
+    "resolve_workers",
+    "run_experiment",
+    "save_run",
+]

@@ -1,0 +1,229 @@
+"""Parallel experiment executor.
+
+Runs an :class:`~repro.engine.spec.ExperimentSpec` either serially or fanned
+out over a ``concurrent.futures`` process pool.  Determinism contract:
+
+1. The master generator is consumed exactly once, up front, to draw the
+   ``(n_points, n_trials)`` seed matrix — in the same stream order the legacy
+   serial ``sweep`` drew its per-point trial seeds.
+2. Every work unit (a ``(point, scheme)`` pair, or a whole point for
+   point-granular specs) derives all of its randomness from its row of the
+   seed matrix.
+3. Results are gathered back into canonical unit order.
+
+Together these make the output bit-identical for any worker count, including
+the serial fallback, and — for ``batched=False`` specs — bit-identical to the
+legacy :func:`repro.simulation.sweep.sweep` path.
+
+Workers are forked (or spawned) with the spec shipped once via the pool
+initializer; each worker then owns a process-local transform cache
+(:mod:`repro.utils.transform_cache`), so caches warm up independently without
+any cross-process coordination.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import pickle
+import warnings
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+from repro.engine.spec import ExperimentSpec, Unit
+from repro.engine.store import load_run, save_run
+from repro.simulation.sweep import SweepRecord
+from repro.utils.rng import RngLike, ensure_rng
+
+#: sentinel accepted by ``n_workers`` to use every available CPU
+AUTO_WORKERS = "auto"
+
+# worker-process state installed once by the pool initializer
+_WORKER_SPEC: ExperimentSpec | None = None
+_WORKER_SEEDS: np.ndarray | None = None
+
+
+def resolve_workers(n_workers: int | str | None) -> int:
+    """Normalise the ``n_workers`` argument to an effective worker count."""
+    if n_workers is None:
+        return 1
+    if n_workers == AUTO_WORKERS:
+        return max(1, os.cpu_count() or 1)
+    n_workers = int(n_workers)
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    return n_workers
+
+
+def draw_seed_matrix(rng: np.random.Generator, n_points: int, n_trials: int) -> np.ndarray:
+    """Pre-draw the per-(point, trial) seed matrix from the master stream.
+
+    A single ``(n_points, n_trials)`` draw consumes the PCG64 stream in the
+    same order as ``n_points`` successive length-``n_trials`` draws, which is
+    exactly what the legacy serial sweep did — so pre-drawing preserves
+    bit-identical seeds while decoupling the points from each other.
+    """
+    return rng.integers(0, 2**63 - 1, size=(n_points, n_trials), dtype=np.int64)
+
+
+def _init_worker(spec: ExperimentSpec, seed_matrix: np.ndarray) -> None:
+    global _WORKER_SPEC, _WORKER_SEEDS
+    _WORKER_SPEC = spec
+    _WORKER_SEEDS = seed_matrix
+
+
+def _run_unit(unit: Unit) -> tuple[Unit, List[Any]]:
+    assert _WORKER_SPEC is not None and _WORKER_SEEDS is not None
+    return unit, _WORKER_SPEC.evaluate_unit(unit, _WORKER_SEEDS[unit[0]])
+
+
+def _run_units_serial(
+    spec: ExperimentSpec, units: Sequence[Unit], seed_matrix: np.ndarray
+) -> Dict[Unit, List[Any]]:
+    return {unit: spec.evaluate_unit(unit, seed_matrix[unit[0]]) for unit in units}
+
+
+def _run_units_parallel(
+    spec: ExperimentSpec,
+    units: Sequence[Unit],
+    seed_matrix: np.ndarray,
+    n_workers: int,
+) -> Dict[Unit, List[Any]]:
+    try:
+        pickle.dumps(spec)
+    except Exception as error:  # unpicklable factory (e.g. a lambda)
+        warnings.warn(
+            f"spec {spec.name!r} is not picklable ({error}); falling back to "
+            f"serial execution — use module-level factory objects to enable "
+            f"the process pool",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return _run_units_serial(spec, units, seed_matrix)
+    try:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(n_workers, len(units)),
+            initializer=_init_worker,
+            initargs=(spec, seed_matrix),
+        ) as pool:
+            return dict(pool.map(_run_unit, units))
+    except (OSError, concurrent.futures.process.BrokenProcessPool) as error:
+        warnings.warn(
+            f"process pool unavailable ({error}); falling back to serial "
+            f"execution",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return _run_units_serial(spec, units, seed_matrix)
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    rng: RngLike = None,
+    n_workers: int | str | None = None,
+    store_path: str | os.PathLike | None = None,
+    resume: bool = True,
+) -> List[Any]:
+    """Execute a spec and return its result records in canonical order.
+
+    Parameters
+    ----------
+    spec:
+        The experiment to run.
+    rng:
+        Master seed / generator; defaults to ``spec.seed``.  Consumed only
+        for the up-front seed-matrix draw.
+    n_workers:
+        ``None`` / ``1`` for in-process execution, an integer for a process
+        pool of that size, or ``"auto"`` for one worker per CPU.  The result
+        is identical in every case.
+    store_path:
+        Optional JSON artifact path.  When given, completed units found in an
+        existing artifact with a matching spec fingerprint are reused
+        (``resume=True``) and the merged result is written back.
+    resume:
+        Set ``False`` to ignore any existing artifact and recompute.
+    """
+    master = ensure_rng(rng if rng is not None else spec.seed)
+    seed_matrix = draw_seed_matrix(master, len(spec.points), spec.n_trials)
+    units = spec.units()
+
+    completed: Dict[Unit, List[Any]] = {}
+    if store_path is not None and resume and os.path.exists(store_path):
+        completed = _load_completed_units(spec, store_path, units)
+
+    pending = [unit for unit in units if unit not in completed]
+    n_workers = resolve_workers(n_workers)
+    if n_workers > 1 and len(pending) > 1:
+        fresh = _run_units_parallel(spec, pending, seed_matrix, n_workers)
+    else:
+        fresh = _run_units_serial(spec, pending, seed_matrix)
+
+    records: List[Any] = []
+    for unit in units:
+        records.extend(completed.get(unit) or fresh[unit])
+    if store_path is not None:
+        _store_records(spec, store_path, records, units)
+    return records
+
+
+# ----------------------------------------------------------------------
+# store integration (SweepRecord sweeps only)
+# ----------------------------------------------------------------------
+def _storable(spec: ExperimentSpec, records: Sequence[Any]) -> bool:
+    return not spec.is_point_granular() and all(
+        isinstance(record, SweepRecord) for record in records
+    )
+
+
+def _load_completed_units(
+    spec: ExperimentSpec, store_path, units: Sequence[Unit]
+) -> Dict[Unit, List[Any]]:
+    """Map stored records back onto this spec's units (best effort)."""
+    if spec.is_point_granular():
+        return {}
+    try:
+        artifact = load_run(store_path)
+    except (ValueError, KeyError, OSError) as error:
+        warnings.warn(
+            f"ignoring unreadable run artifact {store_path!s}: {error}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return {}
+    if artifact.meta.get("fingerprint") != spec.fingerprint():
+        return {}
+    by_key: Dict[tuple, SweepRecord] = {
+        (record.point_index, record.record.scheme): record.record
+        for record in artifact.rows
+    }
+    completed: Dict[Unit, List[Any]] = {}
+    for point_index, scheme_index in units:
+        scheme = spec.schemes_for(spec.points[point_index])[scheme_index]
+        stored = by_key.get((point_index, scheme.name))
+        if stored is not None:
+            completed[(point_index, scheme_index)] = [stored]
+    return completed
+
+
+def _store_records(
+    spec: ExperimentSpec, store_path, records: Sequence[Any], units: Sequence[Unit]
+) -> None:
+    if not _storable(spec, records):
+        return
+    point_indices = [unit[0] for unit in units]
+    save_run(
+        store_path,
+        records,
+        point_indices=point_indices,
+        meta={"fingerprint": spec.fingerprint(), "description": spec.description},
+    )
+
+
+__all__ = [
+    "AUTO_WORKERS",
+    "draw_seed_matrix",
+    "resolve_workers",
+    "run_experiment",
+]

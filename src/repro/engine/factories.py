@@ -1,0 +1,127 @@
+"""Picklable point -> component factories shared by the figure drivers.
+
+The parallel executor ships the whole :class:`~repro.engine.spec.ExperimentSpec`
+to worker processes, so factories must survive pickling — which rules out the
+lambdas the legacy drivers used.  These small frozen dataclasses cover the
+common shapes; drivers with figure-specific logic define their own factory
+classes at module level in the same style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence, Tuple
+
+from repro.attacks import BiasedByzantineAttack, PAPER_POISON_RANGES
+from repro.attacks.base import Attack
+from repro.datasets.base import NumericalDataset
+from repro.ldp.piecewise import PiecewiseMechanism
+from repro.simulation.schemes import MechanismFactory, Scheme, make_scheme
+
+
+@dataclass(frozen=True)
+class SchemesByName:
+    """Build the named paper schemes at the point's ``epsilon``."""
+
+    schemes: Tuple[str, ...]
+    epsilon_min: float = 1.0 / 16.0
+    epsilon_key: str = "epsilon"
+    mechanism_factory: MechanismFactory = PiecewiseMechanism
+
+    def __call__(self, point: Mapping) -> Sequence[Scheme]:
+        epsilon = float(point[self.epsilon_key])
+        return [
+            make_scheme(
+                name,
+                epsilon=epsilon,
+                epsilon_min=self.epsilon_min,
+                mechanism_factory=self.mechanism_factory,
+            )
+            for name in self.schemes
+        ]
+
+
+@dataclass(frozen=True)
+class FixedEpsilonSchemes:
+    """Build the named paper schemes at one fixed ``epsilon``."""
+
+    schemes: Tuple[str, ...]
+    epsilon: float
+    epsilon_min: float = 1.0 / 16.0
+    mechanism_factory: MechanismFactory = PiecewiseMechanism
+
+    def __call__(self, point: Mapping) -> Sequence[Scheme]:
+        return [
+            make_scheme(
+                name,
+                epsilon=self.epsilon,
+                epsilon_min=self.epsilon_min,
+                mechanism_factory=self.mechanism_factory,
+            )
+            for name in self.schemes
+        ]
+
+
+@dataclass(frozen=True)
+class PoisonRangeAttack:
+    """A Biased Byzantine Attack on the point's named poison range."""
+
+    range_key: str = "poison_range"
+    side: str = "right"
+
+    def __call__(self, point: Mapping) -> Attack:
+        return BiasedByzantineAttack(
+            PAPER_POISON_RANGES[point[self.range_key]], side=self.side
+        )
+
+
+@dataclass(frozen=True)
+class FixedAttack:
+    """The same attack instance at every point (attacks are stateless)."""
+
+    attack: Attack | None
+
+    def __call__(self, point: Mapping) -> Attack | None:
+        return self.attack
+
+
+@dataclass(frozen=True)
+class DatasetLookup:
+    """Serve pre-loaded datasets keyed by the point's dataset name."""
+
+    datasets: Mapping[str, NumericalDataset]
+    dataset_key: str = "dataset"
+
+    def __call__(self, point: Mapping) -> NumericalDataset:
+        return self.datasets[point[self.dataset_key]]
+
+
+@dataclass(frozen=True)
+class FixedDataset:
+    """The same dataset at every point."""
+
+    dataset: NumericalDataset
+
+    def __call__(self, point: Mapping) -> NumericalDataset:
+        return self.dataset
+
+
+@dataclass(frozen=True)
+class PointKey:
+    """Read a per-point scalar (e.g. a swept ``gamma``) from the point."""
+
+    key: str
+
+    def __call__(self, point: Mapping) -> float:
+        return point[self.key]
+
+
+__all__ = [
+    "SchemesByName",
+    "FixedEpsilonSchemes",
+    "PoisonRangeAttack",
+    "FixedAttack",
+    "DatasetLookup",
+    "FixedDataset",
+    "PointKey",
+]

@@ -1,0 +1,227 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` is a complete, self-contained description of one
+paper experiment: the sweep points, the factories producing schemes / attack /
+dataset per point, the population scale, and the trial count.  The figure
+drivers in :mod:`repro.experiments` are thin builders of these specs; the
+executor in :mod:`repro.engine.executor` turns a spec into
+:class:`~repro.simulation.sweep.SweepRecord` rows, either serially or fanned
+out over a process pool.
+
+Two properties make specs parallelisable without changing results:
+
+* **pre-drawn seeds** — the executor draws one seed per (point, trial) from
+  the master generator up front, in the same order the legacy serial
+  ``sweep`` consumed it, so every work unit depends only on its own seeds and
+  results are bit-identical regardless of worker count (or of whether a pool
+  is used at all);
+* **picklable factories** — factories are small frozen dataclasses (not
+  closures), so a spec can be shipped to worker processes.
+
+Experiments that are not scheme sweeps (Table I, the probing panels of
+Figures 5 and 8, the frequency-estimation panels) subclass the spec and
+override :meth:`ExperimentSpec.evaluate_point`; the executor then fans out
+whole points instead of (point, scheme) units.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.attacks.base import Attack
+from repro.datasets.base import NumericalDataset
+from repro.simulation.runner import run_trials_batched, run_trials_from_seeds
+from repro.simulation.schemes import Scheme
+from repro.simulation.sweep import SweepRecord
+from repro.utils.validation import check_integer
+
+#: a sweep point: a flat mapping of swept parameter values
+PointSpec = Mapping[str, Any]
+
+#: a work unit: ``(point index, scheme index)`` (scheme index 0 for
+#: point-granular specs)
+Unit = Tuple[int, int]
+
+
+@dataclass
+class ExperimentSpec:
+    """Declarative description of one experiment.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in run artifacts (e.g. ``"fig6"``).
+    points:
+        The sweep points; each factory receives the point so every aspect of
+        the experiment can depend on the swept parameters.
+    n_users, n_trials:
+        Population size per trial and trials per point.
+    gamma:
+        Byzantine proportion — a constant or a per-point callable.
+    scheme_factory, attack_factory, dataset_factory:
+        Point -> schemes / attack / dataset.  Required unless the subclass
+        overrides :meth:`evaluate_point`.
+    input_domain:
+        Mechanism input domain — a constant or a per-point callable.
+    batched:
+        Use the stacked-trials estimation path (one ``perturb`` per scheme
+        per point).  The default ``False`` reproduces the legacy serial
+        ``sweep`` output bit for bit; ``True`` opts into the fast path.
+    seed:
+        Default master seed used when the executor is not handed an explicit
+        generator.
+    description:
+        Free-form provenance recorded in run artifacts.
+    """
+
+    name: str
+    points: Sequence[PointSpec]
+    n_users: int
+    n_trials: int
+    gamma: float | Callable[[PointSpec], float] = 0.25
+    scheme_factory: Callable[[PointSpec], Sequence[Scheme]] | None = None
+    attack_factory: Callable[[PointSpec], Attack | None] | None = None
+    dataset_factory: Callable[[PointSpec], NumericalDataset] | None = None
+    input_domain: Tuple[float, float] | Callable[[PointSpec], Tuple[float, float]] = (
+        -1.0,
+        1.0,
+    )
+    batched: bool = False
+    seed: int | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        self.points = tuple(dict(point) for point in self.points)
+        if not self.points:
+            raise ValueError(f"spec {self.name!r} has no sweep points")
+        check_integer(self.n_users, "n_users", minimum=1)
+        check_integer(self.n_trials, "n_trials", minimum=1)
+        if not self.is_point_granular():
+            missing = [
+                label
+                for label, factory in (
+                    ("scheme_factory", self.scheme_factory),
+                    ("attack_factory", self.attack_factory),
+                    ("dataset_factory", self.dataset_factory),
+                )
+                if factory is None
+            ]
+            if missing:
+                raise ValueError(
+                    f"spec {self.name!r} must provide {', '.join(missing)} or "
+                    f"override evaluate_point()"
+                )
+
+    # ------------------------------------------------------------------
+    # per-point accessors
+    # ------------------------------------------------------------------
+    def point_gamma(self, point: PointSpec) -> float:
+        """The Byzantine proportion at one sweep point."""
+        return self.gamma(point) if callable(self.gamma) else self.gamma
+
+    def point_domain(self, point: PointSpec) -> Tuple[float, float]:
+        """The mechanism input domain at one sweep point."""
+        return (
+            self.input_domain(point) if callable(self.input_domain) else self.input_domain
+        )
+
+    def schemes_for(self, point: PointSpec) -> List[Scheme]:
+        """Instantiate the schemes evaluated at one sweep point."""
+        if self.scheme_factory is None:
+            raise ValueError(f"spec {self.name!r} has no scheme factory")
+        return list(self.scheme_factory(point))
+
+    # ------------------------------------------------------------------
+    # execution interface (consumed by the executor)
+    # ------------------------------------------------------------------
+    def is_point_granular(self) -> bool:
+        """Whether work units are whole points (custom ``evaluate_point``)."""
+        return type(self).evaluate_point is not ExperimentSpec.evaluate_point
+
+    def units(self) -> List[Unit]:
+        """Independent work units, in canonical (serial) order."""
+        if self.is_point_granular():
+            return [(index, 0) for index in range(len(self.points))]
+        return [
+            (point_index, scheme_index)
+            for point_index, point in enumerate(self.points)
+            for scheme_index in range(len(self.schemes_for(point)))
+        ]
+
+    def evaluate_unit(self, unit: Unit, trial_seeds: np.ndarray) -> List[Any]:
+        """Evaluate one work unit and return its result records."""
+        point_index, scheme_index = unit
+        point = self.points[point_index]
+        if self.is_point_granular():
+            return list(self.evaluate_point(point, trial_seeds))
+        scheme = self.schemes_for(point)[scheme_index]
+        runner = run_trials_batched if self.batched else run_trials_from_seeds
+        result = runner(
+            scheme,
+            self.dataset_factory(point),
+            self.attack_factory(point),
+            n_users=self.n_users,
+            gamma=self.point_gamma(point),
+            trial_seeds=trial_seeds,
+            input_domain=self.point_domain(point),
+        )
+        return [
+            SweepRecord(
+                point=dict(point),
+                scheme=result.scheme,
+                mse=result.mse,
+                bias=result.bias,
+                n_trials=len(trial_seeds),
+            )
+        ]
+
+    def evaluate_point(self, point: PointSpec, trial_seeds: np.ndarray) -> Sequence[Any]:
+        """Hook for non-scheme experiments: evaluate one whole point.
+
+        Subclasses override this to run arbitrary per-point measurements
+        (probing rounds, frequency estimation, ...).  All randomness must be
+        derived from ``trial_seeds`` so the point stays reproducible and
+        placeable on any worker.
+        """
+        raise NotImplementedError(
+            "scheme-based specs are evaluated per (point, scheme) unit"
+        )
+
+    # ------------------------------------------------------------------
+    # provenance
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> dict:
+        """Identity of the spec for artifact validation / resume.
+
+        Includes a digest of the sweep-point values and the scheme names, so
+        an artifact from a *different* sweep of the same shape (e.g. other
+        epsilons, or other schemes) can never be mistaken for this one.
+        """
+        gamma = self.gamma if isinstance(self.gamma, (int, float)) else "per-point"
+        points_digest = hashlib.sha256(
+            json.dumps(list(self.points), sort_keys=True, default=str).encode()
+        ).hexdigest()[:16]
+        schemes = (
+            None
+            if self.is_point_granular()
+            else [scheme.name for scheme in self.schemes_for(self.points[0])]
+        )
+        return {
+            "name": self.name,
+            "n_points": len(self.points),
+            "points_digest": points_digest,
+            "schemes": schemes,
+            "n_users": int(self.n_users),
+            "n_trials": int(self.n_trials),
+            "gamma": gamma,
+            "batched": bool(self.batched),
+            "granularity": "point" if self.is_point_granular() else "scheme",
+        }
+
+
+__all__ = ["ExperimentSpec", "PointSpec", "Unit"]

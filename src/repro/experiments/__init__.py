@@ -1,25 +1,33 @@
 """Per-table / per-figure experiment drivers.
 
-Each module regenerates one table or figure of the paper's evaluation
-(Section VI): it runs the corresponding workload through the simulation
-harness and returns tidy records plus a plain-text rendering of the same rows
-or series the paper reports.  The benchmark suite (``benchmarks/``) simply
-invokes these drivers at a laptop-friendly scale; crank the ``n_users`` /
-``n_trials`` arguments up to approach the paper's 10^6-user setting.
+Each module is a thin definition of an :class:`~repro.engine.ExperimentSpec`
+regenerating one table or figure of the paper's evaluation (Section VI): a
+``build_*_spec`` helper (for sweep-style figures) or a spec subclass (for
+probing-style panels), a ``run_*`` entry point executing it through
+:func:`repro.engine.run_experiment`, and a ``format_*`` renderer producing
+the same rows or series the paper reports.  Every ``run_*`` accepts
+``n_workers`` to fan the sweep out over a process pool with identical
+results.  The benchmark suite (``benchmarks/``) simply invokes these drivers
+at a laptop-friendly scale; crank the ``n_users`` / ``n_trials`` arguments up
+to approach the paper's 10^6-user setting.
 """
 
 from repro.experiments.defaults import ExperimentScale, QUICK_SCALE, PAPER_SCALE
 from repro.experiments.table1 import run_table1, format_table1
 from repro.experiments.fig4 import run_fig4, format_fig4
 from repro.experiments.fig5 import run_fig5, format_fig5
-from repro.experiments.fig6 import run_fig6, format_fig6
-from repro.experiments.fig7 import run_fig7, format_fig7
-from repro.experiments.fig8 import run_fig8, format_fig8
+from repro.experiments.fig6 import build_fig6_spec, run_fig6, format_fig6
+from repro.experiments.fig7 import build_fig7_spec, run_fig7, format_fig7
+from repro.experiments.fig8 import build_fig8_mse_spec, run_fig8, format_fig8
 from repro.experiments.fig9 import run_fig9_defense_comparison, format_fig9_defense_comparison
 from repro.experiments.fig9_freq import run_fig9_frequency, format_fig9_frequency
-from repro.experiments.fig10 import run_fig10, format_fig10
+from repro.experiments.fig10 import build_fig10_spec, run_fig10, format_fig10
 
 __all__ = [
+    "build_fig6_spec",
+    "build_fig7_spec",
+    "build_fig8_mse_spec",
+    "build_fig10_spec",
     "ExperimentScale",
     "QUICK_SCALE",
     "PAPER_SCALE",

@@ -15,28 +15,42 @@ Figure 10 show three regimes as ``a`` grows:
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from dataclasses import dataclass
+from typing import List, Mapping, Sequence
 
 from repro.attacks import EvasionAttack, PoisonRange
 from repro.datasets import load_dataset
+from repro.engine import DatasetLookup, ExperimentSpec, FixedEpsilonSchemes, run_experiment
 from repro.experiments.defaults import ExperimentScale, QUICK_SCALE
-from repro.simulation.schemes import make_scheme
-from repro.simulation.sweep import SweepRecord, format_table, records_to_table, sweep
+from repro.simulation.sweep import SweepRecord, format_table, records_to_table
 from repro.utils.rng import RngLike, ensure_rng
 
 #: the evasive fractions swept in the figure
 FIG10_FRACTIONS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)
 
 
-def run_fig10(
+@dataclass(frozen=True)
+class Fig10Attack:
+    """Evasion attack with the point's evasive fraction ``a``."""
+
+    def __call__(self, point: Mapping) -> EvasionAttack:
+        return EvasionAttack(
+            evasive_fraction=point["evasive_fraction"],
+            true_poison_range=PoisonRange.of_c(0.5, 1.0),
+            evasive_position=0.5,
+        )
+
+
+def build_fig10_spec(
     scale: ExperimentScale = QUICK_SCALE,
     datasets: Sequence[str] = ("Taxi",),
     evasive_fractions: Sequence[float] = FIG10_FRACTIONS,
     epsilon: float = 0.5,
     schemes: Sequence[str] = ("DAP-EMF", "DAP-EMF*", "DAP-CEMF*"),
     rng: RngLike = None,
-) -> List[SweepRecord]:
-    """Regenerate the Figure 10 evasion sweep."""
+    batched: bool = False,
+) -> ExperimentSpec:
+    """Build the Figure 10 evasion-sweep spec."""
     rng = ensure_rng(rng)
     dataset_cache = {
         name: load_dataset(name, n_samples=scale.n_users, rng=rng) for name in datasets
@@ -46,20 +60,42 @@ def run_fig10(
         for name in datasets
         for a in evasive_fractions
     ]
-    return sweep(
-        points,
-        scheme_factory=lambda pt: [make_scheme(name, epsilon=epsilon) for name in schemes],
-        attack_factory=lambda pt: EvasionAttack(
-            evasive_fraction=pt["evasive_fraction"],
-            true_poison_range=PoisonRange.of_c(0.5, 1.0),
-            evasive_position=0.5,
-        ),
-        dataset_factory=lambda pt: dataset_cache[pt["dataset"]],
+    return ExperimentSpec(
+        name="fig10",
+        description="Figure 10: MSE vs evasive poison fraction",
+        points=points,
         n_users=scale.n_users,
-        gamma=scale.gamma,
         n_trials=scale.n_trials,
-        rng=rng,
+        gamma=scale.gamma,
+        scheme_factory=FixedEpsilonSchemes(tuple(schemes), epsilon=epsilon),
+        attack_factory=Fig10Attack(),
+        dataset_factory=DatasetLookup(dataset_cache),
+        batched=batched,
     )
+
+
+def run_fig10(
+    scale: ExperimentScale = QUICK_SCALE,
+    datasets: Sequence[str] = ("Taxi",),
+    evasive_fractions: Sequence[float] = FIG10_FRACTIONS,
+    epsilon: float = 0.5,
+    schemes: Sequence[str] = ("DAP-EMF", "DAP-EMF*", "DAP-CEMF*"),
+    rng: RngLike = None,
+    n_workers: int | str | None = None,
+    batched: bool = False,
+) -> List[SweepRecord]:
+    """Regenerate the Figure 10 evasion sweep."""
+    rng = ensure_rng(rng)
+    spec = build_fig10_spec(
+        scale,
+        datasets=datasets,
+        evasive_fractions=evasive_fractions,
+        epsilon=epsilon,
+        schemes=schemes,
+        rng=rng,
+        batched=batched,
+    )
+    return run_experiment(spec, rng=rng, n_workers=n_workers)
 
 
 def format_fig10(records: Sequence[SweepRecord]) -> str:
@@ -75,4 +111,4 @@ def format_fig10(records: Sequence[SweepRecord]) -> str:
     return "\n\n".join(blocks)
 
 
-__all__ = ["run_fig10", "format_fig10", "FIG10_FRACTIONS"]
+__all__ = ["build_fig10_spec", "run_fig10", "format_fig10", "FIG10_FRACTIONS"]

@@ -8,12 +8,14 @@ dataset so the report can state how closely the offline substitutes match.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
 
 import numpy as np
 
 from repro.datasets import load_dataset
+from repro.datasets.base import NumericalDataset
+from repro.engine import ExperimentSpec, run_experiment
 from repro.experiments.defaults import ExperimentScale, QUICK_SCALE
 from repro.utils.rng import RngLike, ensure_rng
 
@@ -38,19 +40,18 @@ class Fig4Record:
     histogram: np.ndarray
 
 
-def run_fig4(
-    scale: ExperimentScale = QUICK_SCALE,
-    datasets: Sequence[str] = tuple(PAPER_MEANS),
-    n_buckets: int = 40,
-    rng: RngLike = None,
-) -> List[Fig4Record]:
-    """Regenerate the Figure 4 dataset summaries."""
-    rng = ensure_rng(rng)
-    records: List[Fig4Record] = []
-    for name in datasets:
-        dataset = load_dataset(name, n_samples=scale.n_users, rng=rng)
-        histogram, _grid = dataset.histogram(n_buckets)
-        records.append(
+@dataclass
+class Fig4Spec(ExperimentSpec):
+    """Point-granular spec: one summary per (pre-loaded) dataset."""
+
+    datasets: Dict[str, NumericalDataset] = field(default_factory=dict)
+    n_buckets: int = 40
+
+    def evaluate_point(self, point: Mapping, trial_seeds) -> Sequence[Fig4Record]:
+        name = point["dataset"]
+        dataset = self.datasets[name]
+        histogram, _grid = dataset.histogram(self.n_buckets)
+        return [
             Fig4Record(
                 dataset=name,
                 n_samples=dataset.n,
@@ -59,8 +60,31 @@ def run_fig4(
                 variance=dataset.true_variance,
                 histogram=histogram,
             )
-        )
-    return records
+        ]
+
+
+def run_fig4(
+    scale: ExperimentScale = QUICK_SCALE,
+    datasets: Sequence[str] = tuple(PAPER_MEANS),
+    n_buckets: int = 40,
+    rng: RngLike = None,
+    n_workers: int | str | None = None,
+) -> List[Fig4Record]:
+    """Regenerate the Figure 4 dataset summaries."""
+    rng = ensure_rng(rng)
+    loaded = {
+        name: load_dataset(name, n_samples=scale.n_users, rng=rng) for name in datasets
+    }
+    spec = Fig4Spec(
+        name="fig4",
+        description="Figure 4: dataset histograms and true means",
+        points=[{"dataset": name} for name in datasets],
+        n_users=scale.n_users,
+        n_trials=1,
+        datasets=loaded,
+        n_buckets=n_buckets,
+    )
+    return run_experiment(spec, rng=rng, n_workers=n_workers)
 
 
 def format_fig4(records: Sequence[Fig4Record]) -> str:
@@ -76,4 +100,4 @@ def format_fig4(records: Sequence[Fig4Record]) -> str:
     return "\n".join(lines)
 
 
-__all__ = ["Fig4Record", "run_fig4", "format_fig4", "PAPER_MEANS"]
+__all__ = ["Fig4Record", "Fig4Spec", "run_fig4", "format_fig4", "PAPER_MEANS"]

@@ -12,12 +12,16 @@ Four panels:
 The qualitative claims to verify: the estimate improves monotonically as
 epsilon shrinks (Theorem 3), false positives stay small (a few percent) at the
 smallest budgets, and IMA keeps ``gamma_hat`` near the false-positive level.
+
+Each (panel, range, gamma, epsilon) cell is one point of a point-granular
+:class:`~repro.engine.ExperimentSpec`, so the whole figure fans out over the
+process pool.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
 
 import numpy as np
 
@@ -29,6 +33,7 @@ from repro.attacks import (
 )
 from repro.core.features import estimate_byzantine_features
 from repro.datasets import load_dataset
+from repro.engine import ExperimentSpec, run_experiment
 from repro.experiments.defaults import ExperimentScale, QUICK_SCALE, PROBING_EPSILONS
 from repro.ldp import PiecewiseMechanism
 from repro.utils.rng import RngLike, ensure_rng
@@ -68,6 +73,41 @@ def _probe_gamma(dataset_values, attack, gamma, epsilon, rng) -> float:
     return features.gamma_hat
 
 
+def _point_attack(point: Mapping):
+    if point["panel"] == "c":
+        return NoAttack()
+    if point["panel"] == "d":
+        return InputManipulationAttack(1.0)
+    return BiasedByzantineAttack(PAPER_POISON_RANGES[point["poison_range"]])
+
+
+@dataclass
+class Fig5Spec(ExperimentSpec):
+    """Point-granular spec: one probing round per figure cell."""
+
+    values_by_dataset: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def evaluate_point(self, point: Mapping, trial_seeds) -> Sequence[Fig5Record]:
+        rng = np.random.default_rng(int(trial_seeds[0]))
+        gamma_hat = _probe_gamma(
+            self.values_by_dataset[point["dataset"]],
+            _point_attack(point),
+            point["gamma"],
+            point["epsilon"],
+            rng,
+        )
+        return [
+            Fig5Record(
+                panel=point["panel"],
+                dataset=point["dataset"],
+                epsilon=point["epsilon"],
+                gamma=point["gamma"],
+                poison_range=point["poison_range"],
+                gamma_hat=gamma_hat,
+            )
+        ]
+
+
 def run_fig5(
     scale: ExperimentScale = QUICK_SCALE,
     epsilons: Sequence[float] = PROBING_EPSILONS,
@@ -77,6 +117,7 @@ def run_fig5(
     include_false_positive_panel: bool = True,
     include_ima_panel: bool = True,
     rng: RngLike = None,
+    n_workers: int | str | None = None,
 ) -> List[Fig5Record]:
     """Regenerate the Figure 5 measurements.
 
@@ -85,56 +126,58 @@ def run_fig5(
     lists to sweep everything.
     """
     rng = ensure_rng(rng)
-    records: List[Fig5Record] = []
+    values_by_dataset = {
+        name: load_dataset(name, n_samples=scale.n_users, rng=rng).values
+        for name in datasets
+    }
+    points: List[dict] = []
     for dataset_name in datasets:
-        dataset = load_dataset(dataset_name, n_samples=scale.n_users, rng=rng)
         # panels (a)(b): biased attacks at gamma = 0.1 / 0.4
         for gamma, panel in zip(gammas, ("a", "b")):
             for range_name in poison_ranges:
-                attack = BiasedByzantineAttack(PAPER_POISON_RANGES[range_name])
                 for epsilon in epsilons:
-                    gamma_hat = _probe_gamma(dataset.values, attack, gamma, epsilon, rng)
-                    records.append(
-                        Fig5Record(
-                            panel=panel,
-                            dataset=dataset_name,
-                            epsilon=epsilon,
-                            gamma=gamma,
-                            poison_range=range_name,
-                            gamma_hat=gamma_hat,
-                        )
+                    points.append(
+                        {
+                            "panel": panel,
+                            "dataset": dataset_name,
+                            "epsilon": epsilon,
+                            "gamma": gamma,
+                            "poison_range": range_name,
+                        }
                     )
         # panel (c): no attack -> gamma_hat is the false-positive rate
         if include_false_positive_panel:
             for epsilon in epsilons:
-                gamma_hat = _probe_gamma(dataset.values, NoAttack(), 0.0, epsilon, rng)
-                records.append(
-                    Fig5Record(
-                        panel="c",
-                        dataset=dataset_name,
-                        epsilon=epsilon,
-                        gamma=0.0,
-                        poison_range="none",
-                        gamma_hat=gamma_hat,
-                    )
+                points.append(
+                    {
+                        "panel": "c",
+                        "dataset": dataset_name,
+                        "epsilon": epsilon,
+                        "gamma": 0.0,
+                        "poison_range": "none",
+                    }
                 )
         # panel (d): input-manipulation attack at gamma = 0.25
         if include_ima_panel:
             for epsilon in epsilons:
-                gamma_hat = _probe_gamma(
-                    dataset.values, InputManipulationAttack(1.0), 0.25, epsilon, rng
+                points.append(
+                    {
+                        "panel": "d",
+                        "dataset": dataset_name,
+                        "epsilon": epsilon,
+                        "gamma": 0.25,
+                        "poison_range": "IMA",
+                    }
                 )
-                records.append(
-                    Fig5Record(
-                        panel="d",
-                        dataset=dataset_name,
-                        epsilon=epsilon,
-                        gamma=0.25,
-                        poison_range="IMA",
-                        gamma_hat=gamma_hat,
-                    )
-                )
-    return records
+    spec = Fig5Spec(
+        name="fig5",
+        description="Figure 5: gamma_hat accuracy per panel",
+        points=points,
+        n_users=scale.n_users,
+        n_trials=1,
+        values_by_dataset=values_by_dataset,
+    )
+    return run_experiment(spec, rng=rng, n_workers=n_workers)
 
 
 def format_fig5(records: Sequence[Fig5Record]) -> str:
@@ -164,4 +207,4 @@ def format_fig5(records: Sequence[Fig5Record]) -> str:
     return "\n".join(lines)
 
 
-__all__ = ["Fig5Record", "run_fig5", "format_fig5", "FIG5_RANGES"]
+__all__ = ["Fig5Record", "Fig5Spec", "run_fig5", "format_fig5", "FIG5_RANGES"]

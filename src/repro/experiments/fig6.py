@@ -5,19 +5,25 @@ Retirement), every poison range ([3C/4,C], [C/2,C], [O,C/2], [O,C]) and every
 budget in {1/4, 1/2, 1, 3/2, 2}, the three DAP variants achieve a far smaller
 MSE than Ostrich and Trimming, with DAP-CEMF* usually the best.
 
-The driver sweeps a configurable subset of that grid (dataset x range x
-epsilon) and reports MSE per scheme.
+The driver is a thin definition of an :class:`~repro.engine.ExperimentSpec`
+over the (dataset x range x epsilon) grid; pass ``n_workers`` to fan the grid
+out over a process pool (identical results at any worker count).
 """
 
 from __future__ import annotations
 
 from typing import List, Sequence
 
-from repro.attacks import BiasedByzantineAttack, PAPER_POISON_RANGES
 from repro.datasets import load_dataset
+from repro.engine import (
+    DatasetLookup,
+    ExperimentSpec,
+    PoisonRangeAttack,
+    SchemesByName,
+    run_experiment,
+)
 from repro.experiments.defaults import ExperimentScale, QUICK_SCALE, PAPER_EPSILONS
-from repro.simulation.schemes import make_scheme
-from repro.simulation.sweep import SweepRecord, format_table, records_to_table, sweep
+from repro.simulation.sweep import SweepRecord, format_table, records_to_table
 from repro.utils.rng import RngLike, ensure_rng
 
 #: the full grid of Figure 6
@@ -26,7 +32,7 @@ FIG6_RANGES = ("[3C/4,C]", "[C/2,C]", "[O,C/2]", "[O,C]")
 FIG6_SCHEMES = ("DAP-EMF", "DAP-EMF*", "DAP-CEMF*", "Ostrich", "Trimming")
 
 
-def run_fig6(
+def build_fig6_spec(
     scale: ExperimentScale = QUICK_SCALE,
     datasets: Sequence[str] = ("Taxi",),
     poison_ranges: Sequence[str] = ("[3C/4,C]",),
@@ -34,13 +40,9 @@ def run_fig6(
     schemes: Sequence[str] = FIG6_SCHEMES,
     epsilon_min: float = 1.0 / 16.0,
     rng: RngLike = None,
-) -> List[SweepRecord]:
-    """Regenerate (a configurable slice of) the Figure 6 grid.
-
-    Defaults run one dataset and one poison range across every budget and
-    scheme — one panel of the figure.  Pass ``datasets=FIG6_DATASETS`` and
-    ``poison_ranges=FIG6_RANGES`` for the complete 16-panel grid.
-    """
+    batched: bool = False,
+) -> ExperimentSpec:
+    """Build the Figure 6 spec (datasets are sampled here, from ``rng``)."""
     rng = ensure_rng(rng)
     dataset_cache = {
         name: load_dataset(name, n_samples=scale.n_users, rng=rng) for name in datasets
@@ -51,21 +53,53 @@ def run_fig6(
         for p in poison_ranges
         for e in epsilons
     ]
-    return sweep(
-        points,
-        scheme_factory=lambda pt: [
-            make_scheme(name, epsilon=pt["epsilon"], epsilon_min=epsilon_min)
-            for name in schemes
-        ],
-        attack_factory=lambda pt: BiasedByzantineAttack(
-            PAPER_POISON_RANGES[pt["poison_range"]]
-        ),
-        dataset_factory=lambda pt: dataset_cache[pt["dataset"]],
+    return ExperimentSpec(
+        name="fig6",
+        description="Figure 6: mean-estimation MSE, DAP variants vs baselines",
+        points=points,
         n_users=scale.n_users,
-        gamma=scale.gamma,
         n_trials=scale.n_trials,
-        rng=rng,
+        gamma=scale.gamma,
+        scheme_factory=SchemesByName(tuple(schemes), epsilon_min=epsilon_min),
+        attack_factory=PoisonRangeAttack(),
+        dataset_factory=DatasetLookup(dataset_cache),
+        batched=batched,
     )
+
+
+def run_fig6(
+    scale: ExperimentScale = QUICK_SCALE,
+    datasets: Sequence[str] = ("Taxi",),
+    poison_ranges: Sequence[str] = ("[3C/4,C]",),
+    epsilons: Sequence[float] = PAPER_EPSILONS,
+    schemes: Sequence[str] = FIG6_SCHEMES,
+    epsilon_min: float = 1.0 / 16.0,
+    rng: RngLike = None,
+    n_workers: int | str | None = None,
+    batched: bool = False,
+    store_path=None,
+) -> List[SweepRecord]:
+    """Regenerate (a configurable slice of) the Figure 6 grid.
+
+    Defaults run one dataset and one poison range across every budget and
+    scheme — one panel of the figure.  Pass ``datasets=FIG6_DATASETS`` and
+    ``poison_ranges=FIG6_RANGES`` for the complete 16-panel grid.  With the
+    default ``batched=False`` the records are bit-identical to the historical
+    serial sweep for a given ``rng``; ``batched=True`` switches to the
+    stacked-trials fast path.
+    """
+    rng = ensure_rng(rng)
+    spec = build_fig6_spec(
+        scale,
+        datasets=datasets,
+        poison_ranges=poison_ranges,
+        epsilons=epsilons,
+        schemes=schemes,
+        epsilon_min=epsilon_min,
+        rng=rng,
+        batched=batched,
+    )
+    return run_experiment(spec, rng=rng, n_workers=n_workers, store_path=store_path)
 
 
 def format_fig6(records: Sequence[SweepRecord]) -> str:
@@ -86,4 +120,11 @@ def format_fig6(records: Sequence[SweepRecord]) -> str:
     return "\n\n".join(blocks)
 
 
-__all__ = ["run_fig6", "format_fig6", "FIG6_DATASETS", "FIG6_RANGES", "FIG6_SCHEMES"]
+__all__ = [
+    "build_fig6_spec",
+    "run_fig6",
+    "format_fig6",
+    "FIG6_DATASETS",
+    "FIG6_RANGES",
+    "FIG6_SCHEMES",
+]

@@ -13,7 +13,8 @@ Trimming across the whole sweep.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from dataclasses import dataclass
+from typing import List, Mapping, Sequence
 
 from repro.attacks import (
     BetaPoison,
@@ -23,10 +24,16 @@ from repro.attacks import (
     UniformPoison,
 )
 from repro.datasets import load_dataset
+from repro.engine import (
+    ExperimentSpec,
+    FixedDataset,
+    FixedEpsilonSchemes,
+    PointKey,
+    run_experiment,
+)
 from repro.experiments.defaults import ExperimentScale, QUICK_SCALE
 from repro.experiments.fig6 import FIG6_SCHEMES
-from repro.simulation.schemes import make_scheme
-from repro.simulation.sweep import SweepRecord, format_table, records_to_table, sweep
+from repro.simulation.sweep import SweepRecord, format_table, records_to_table
 from repro.utils.rng import RngLike, ensure_rng
 
 #: the proportions of panels (a)(b)
@@ -48,7 +55,18 @@ def _poison_distribution(name: str):
     raise KeyError(f"unknown poison distribution {name!r}")
 
 
-def run_fig7(
+@dataclass(frozen=True)
+class Fig7Attack:
+    """BBA on the point's poison range with the point's poison distribution."""
+
+    def __call__(self, point: Mapping) -> BiasedByzantineAttack:
+        return BiasedByzantineAttack(
+            PAPER_POISON_RANGES[point["poison_range"]],
+            distribution=_poison_distribution(point["distribution"]),
+        )
+
+
+def build_fig7_spec(
     scale: ExperimentScale = QUICK_SCALE,
     epsilon: float = 1.0,
     dataset_name: str = "Taxi",
@@ -57,8 +75,9 @@ def run_fig7(
     distributions: Sequence[str] = FIG7_DISTRIBUTIONS,
     schemes: Sequence[str] = FIG6_SCHEMES,
     rng: RngLike = None,
-) -> List[SweepRecord]:
-    """Regenerate the Figure 7 sweeps (both the gamma and distribution axes)."""
+    batched: bool = False,
+) -> ExperimentSpec:
+    """Build the Figure 7 spec (both the gamma and distribution axes)."""
     rng = ensure_rng(rng)
     dataset = load_dataset(dataset_name, n_samples=scale.n_users, rng=rng)
 
@@ -83,19 +102,46 @@ def run_fig7(
                 }
             )
 
-    return sweep(
-        points,
-        scheme_factory=lambda pt: [make_scheme(name, epsilon=epsilon) for name in schemes],
-        attack_factory=lambda pt: BiasedByzantineAttack(
-            PAPER_POISON_RANGES[pt["poison_range"]],
-            distribution=_poison_distribution(pt["distribution"]),
-        ),
-        dataset_factory=lambda pt: dataset,
+    return ExperimentSpec(
+        name="fig7",
+        description="Figure 7: robustness to gamma and poison distribution",
+        points=points,
         n_users=scale.n_users,
-        gamma=lambda pt: pt["gamma"],
         n_trials=scale.n_trials,
-        rng=rng,
+        gamma=PointKey("gamma"),
+        scheme_factory=FixedEpsilonSchemes(tuple(schemes), epsilon=epsilon),
+        attack_factory=Fig7Attack(),
+        dataset_factory=FixedDataset(dataset),
+        batched=batched,
     )
+
+
+def run_fig7(
+    scale: ExperimentScale = QUICK_SCALE,
+    epsilon: float = 1.0,
+    dataset_name: str = "Taxi",
+    poison_ranges: Sequence[str] = ("[O,C/2]", "[C/2,C]"),
+    gammas: Sequence[float] = FIG7_GAMMAS,
+    distributions: Sequence[str] = FIG7_DISTRIBUTIONS,
+    schemes: Sequence[str] = FIG6_SCHEMES,
+    rng: RngLike = None,
+    n_workers: int | str | None = None,
+    batched: bool = False,
+) -> List[SweepRecord]:
+    """Regenerate the Figure 7 sweeps (both the gamma and distribution axes)."""
+    rng = ensure_rng(rng)
+    spec = build_fig7_spec(
+        scale,
+        epsilon=epsilon,
+        dataset_name=dataset_name,
+        poison_ranges=poison_ranges,
+        gammas=gammas,
+        distributions=distributions,
+        schemes=schemes,
+        rng=rng,
+        batched=batched,
+    )
+    return run_experiment(spec, rng=rng, n_workers=n_workers)
 
 
 def format_fig7(records: Sequence[SweepRecord]) -> str:
@@ -129,4 +175,10 @@ def format_fig7(records: Sequence[SweepRecord]) -> str:
     return "\n\n".join(blocks)
 
 
-__all__ = ["run_fig7", "format_fig7", "FIG7_GAMMAS", "FIG7_DISTRIBUTIONS"]
+__all__ = [
+    "build_fig7_spec",
+    "run_fig7",
+    "format_fig7",
+    "FIG7_GAMMAS",
+    "FIG7_DISTRIBUTIONS",
+]

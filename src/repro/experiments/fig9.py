@@ -17,21 +17,23 @@ to zero, i.e. no poison columns) instead of the raw report average, and the
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from dataclasses import dataclass
+from typing import List, Mapping, Sequence
 
 import numpy as np
 
 from repro.attacks import BiasedByzantineAttack, InputManipulationAttack, PAPER_POISON_RANGES
 from repro.attacks.base import Attack
-from repro.core.transform import build_transform_matrix
+from repro.core.transform import cached_transform_matrix
 from repro.datasets import load_dataset
 from repro.defenses.kmeans import kmeans_1d
+from repro.engine import ExperimentSpec, FixedDataset, PoisonRangeAttack, run_experiment
 from repro.experiments.defaults import ExperimentScale, QUICK_SCALE, PAPER_EPSILONS
 from repro.ldp.ems import em_reconstruct
 from repro.ldp.piecewise import PiecewiseMechanism
 from repro.simulation.population import Population
 from repro.simulation.schemes import Scheme, make_scheme
-from repro.simulation.sweep import SweepRecord, format_table, records_to_table, sweep
+from repro.simulation.sweep import SweepRecord, format_table, records_to_table
 from repro.utils.histogram import histogram_mean, normalize_histogram
 from repro.utils.rng import RngLike, ensure_rng
 
@@ -67,7 +69,7 @@ class EMFKMeansScheme(Scheme):
         self.n_input_buckets = n_input_buckets
         self.n_output_buckets = n_output_buckets
         self.name = name or f"EMF-based(beta={sampling_rate:g})"
-        self._transform = build_transform_matrix(
+        self._transform = cached_transform_matrix(
             self.mechanism, n_input_buckets, n_output_buckets, side="right"
         )
 
@@ -108,30 +110,21 @@ class EMFKMeansScheme(Scheme):
         return float(np.clip(self._reconstructed_mean(reports[kept]), low, high))
 
 
-def run_fig9_defense_comparison(
-    scale: ExperimentScale = QUICK_SCALE,
-    epsilons: Sequence[float] = PAPER_EPSILONS,
-    sampling_rates: Sequence[float] = (0.1, 0.5, 0.9),
-    poison_range: str = "[C/2,C]",
-    dataset_name: str = "Taxi",
-    include_ima_panel: bool = True,
-    ima_inputs: Sequence[float] = (-1.0, 0.0, 1.0),
-    ima_epsilon: float = 1.0,
-    rng: RngLike = None,
-) -> List[SweepRecord]:
-    """Regenerate Figure 9 (a) and optionally (b)."""
-    rng = ensure_rng(rng)
-    dataset = load_dataset(dataset_name, n_samples=scale.n_users, rng=rng)
+@dataclass(frozen=True)
+class Fig9BBASchemes:
+    """Panel (a): DAP variants vs k-means at several sampling rates."""
 
-    # ---- panel (a): BBA, DAP vs k-means over epsilon -------------------------
-    def bba_schemes(point):
-        epsilon = point["epsilon"]
+    sampling_rates: tuple
+    epsilon_min: float = 1.0 / 16.0
+
+    def __call__(self, point: Mapping) -> Sequence[Scheme]:
+        epsilon = float(point["epsilon"])
         schemes = [
-            make_scheme("DAP-EMF", epsilon),
-            make_scheme("DAP-EMF*", epsilon),
-            make_scheme("DAP-CEMF*", epsilon),
+            make_scheme("DAP-EMF", epsilon, epsilon_min=self.epsilon_min),
+            make_scheme("DAP-EMF*", epsilon, epsilon_min=self.epsilon_min),
+            make_scheme("DAP-CEMF*", epsilon, epsilon_min=self.epsilon_min),
         ]
-        for rate in sampling_rates:
+        for rate in self.sampling_rates:
             schemes.append(
                 make_scheme(
                     "K-means",
@@ -143,48 +136,88 @@ def run_fig9_defense_comparison(
             )
         return schemes
 
-    points = [{"panel": "a", "epsilon": epsilon} for epsilon in epsilons]
-    records = sweep(
-        points,
-        scheme_factory=bba_schemes,
-        attack_factory=lambda pt: BiasedByzantineAttack(PAPER_POISON_RANGES[poison_range]),
-        dataset_factory=lambda pt: dataset,
+
+@dataclass(frozen=True)
+class Fig9IMASchemes:
+    """Panel (b): EMF-based vs plain k-means at the point's sampling rate."""
+
+    def __call__(self, point: Mapping) -> Sequence[Scheme]:
+        rate = float(point["sampling_rate"])
+        epsilon = float(point["epsilon"])
+        return [
+            EMFKMeansScheme(epsilon, sampling_rate=rate),
+            make_scheme(
+                "K-means",
+                epsilon,
+                sampling_rate=rate,
+                n_subsets=100,
+                label=f"K-means(beta={rate:g})",
+            ),
+        ]
+
+
+@dataclass(frozen=True)
+class Fig9IMAAttack:
+    """Input manipulation towards the point's chosen input ``g``."""
+
+    def __call__(self, point: Mapping) -> Attack:
+        return InputManipulationAttack(point["g"])
+
+
+def run_fig9_defense_comparison(
+    scale: ExperimentScale = QUICK_SCALE,
+    epsilons: Sequence[float] = PAPER_EPSILONS,
+    sampling_rates: Sequence[float] = (0.1, 0.5, 0.9),
+    poison_range: str = "[C/2,C]",
+    dataset_name: str = "Taxi",
+    include_ima_panel: bool = True,
+    ima_inputs: Sequence[float] = (-1.0, 0.0, 1.0),
+    ima_epsilon: float = 1.0,
+    rng: RngLike = None,
+    n_workers: int | str | None = None,
+    batched: bool = False,
+) -> List[SweepRecord]:
+    """Regenerate Figure 9 (a) and optionally (b)."""
+    rng = ensure_rng(rng)
+    dataset = load_dataset(dataset_name, n_samples=scale.n_users, rng=rng)
+
+    # ---- panel (a): BBA, DAP vs k-means over epsilon -------------------------
+    spec_a = ExperimentSpec(
+        name="fig9a",
+        description="Figure 9(a): DAP vs k-means defence under BBA",
+        points=[
+            {"panel": "a", "epsilon": epsilon, "poison_range": poison_range}
+            for epsilon in epsilons
+        ],
         n_users=scale.n_users,
-        gamma=scale.gamma,
         n_trials=scale.n_trials,
-        rng=rng,
+        gamma=scale.gamma,
+        scheme_factory=Fig9BBASchemes(tuple(sampling_rates)),
+        attack_factory=PoisonRangeAttack(),
+        dataset_factory=FixedDataset(dataset),
+        batched=batched,
     )
+    records = run_experiment(spec_a, rng=rng, n_workers=n_workers)
 
     # ---- panel (b): IMA, EMF-based vs plain k-means over beta ----------------
     if include_ima_panel:
-        def ima_schemes(point):
-            rate = point["sampling_rate"]
-            return [
-                EMFKMeansScheme(ima_epsilon, sampling_rate=rate),
-                make_scheme(
-                    "K-means",
-                    ima_epsilon,
-                    sampling_rate=rate,
-                    n_subsets=100,
-                    label=f"K-means(beta={rate:g})",
-                ),
-            ]
-
-        ima_points = [
-            {"panel": "b", "sampling_rate": rate, "g": g, "epsilon": ima_epsilon}
-            for rate in sampling_rates
-            for g in ima_inputs
-        ]
-        records += sweep(
-            ima_points,
-            scheme_factory=ima_schemes,
-            attack_factory=lambda pt: InputManipulationAttack(pt["g"]),
-            dataset_factory=lambda pt: dataset,
+        spec_b = ExperimentSpec(
+            name="fig9b",
+            description="Figure 9(b): EMF-based vs k-means under IMA",
+            points=[
+                {"panel": "b", "sampling_rate": rate, "g": g, "epsilon": ima_epsilon}
+                for rate in sampling_rates
+                for g in ima_inputs
+            ],
             n_users=scale.n_users,
-            gamma=scale.gamma,
             n_trials=scale.n_trials,
-            rng=rng,
+            gamma=scale.gamma,
+            scheme_factory=Fig9IMASchemes(),
+            attack_factory=Fig9IMAAttack(),
+            dataset_factory=FixedDataset(dataset),
+            batched=batched,
         )
+        records += run_experiment(spec_b, rng=rng, n_workers=n_workers)
     return records
 
 
@@ -212,6 +245,8 @@ def format_fig9_defense_comparison(records: Sequence[SweepRecord]) -> str:
 
 __all__ = [
     "EMFKMeansScheme",
+    "Fig9BBASchemes",
+    "Fig9IMASchemes",
     "run_fig9_defense_comparison",
     "format_fig9_defense_comparison",
     "FIG9_SAMPLING_RATES",

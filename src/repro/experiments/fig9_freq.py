@@ -9,17 +9,19 @@ DAP variants sit below 1e-2 and improve with epsilon.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.frequency import FrequencyDAP, ostrich_frequencies
 from repro.datasets import covid_dataset
+from repro.datasets.base import CategoricalDataset
+from repro.engine import ExperimentSpec, run_experiment
 from repro.estimators import frequency_mse
 from repro.experiments.defaults import ExperimentScale, QUICK_SCALE, PAPER_EPSILONS
 from repro.ldp import KRandomizedResponse
-from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
+from repro.utils.rng import RngLike, ensure_rng
 
 #: poisoned age-group indices of the two panels.  Panel (c) poisons one group
 #: ("the 10th group", 0-based index 9).  For panel (d) the paper poisons three
@@ -28,6 +30,12 @@ from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 #: Ostrich's error stays around 1e-1) — see DESIGN.md.
 FIG9C_POISONED = (9,)
 FIG9D_POISONED = (2, 3, 4)
+
+_ESTIMATOR_OF = {
+    "DAP-EMF": "emf",
+    "DAP-EMF*": "emf_star",
+    "DAP-CEMF*": "cemf_star",
+}
 
 
 @dataclass
@@ -41,62 +49,81 @@ class Fig9FreqRecord:
     poisoned_categories: tuple
 
 
+@dataclass
+class Fig9FreqSpec(ExperimentSpec):
+    """Point-granular spec: one (panel, epsilon) cell, all schemes, all trials."""
+
+    dataset: CategoricalDataset | None = None
+    schemes: Tuple[str, ...] = ("DAP-EMF", "DAP-EMF*", "DAP-CEMF*", "Ostrich")
+
+    def evaluate_point(self, point: Mapping, trial_seeds) -> Sequence[Fig9FreqRecord]:
+        panel = point["panel"]
+        epsilon = float(point["epsilon"])
+        poisoned = tuple(point["poisoned"])
+        n_categories = self.dataset.n_categories
+        gamma = self.point_gamma(point)
+
+        per_scheme_errors: Dict[str, List[float]] = {name: [] for name in self.schemes}
+        for seed in trial_seeds:
+            trial_rng = np.random.default_rng(int(seed))
+            n_byzantine = int(round(self.n_users * gamma))
+            n_normal = self.n_users - n_byzantine
+            normal_categories = self.dataset.sample(n_normal, trial_rng)
+            truth = np.bincount(normal_categories, minlength=n_categories) / n_normal
+
+            dap = FrequencyDAP(epsilon, n_categories)
+            reports = dap.collect(normal_categories, poisoned, n_byzantine, rng=trial_rng)
+            for name in self.schemes:
+                if name == "Ostrich":
+                    mechanism = KRandomizedResponse(epsilon, n_categories)
+                    estimate = ostrich_frequencies(mechanism, reports)
+                else:
+                    scheme_dap = FrequencyDAP(
+                        epsilon, n_categories, estimator=_ESTIMATOR_OF[name]
+                    )
+                    estimate = scheme_dap.estimate(reports).frequencies
+                per_scheme_errors[name].append(frequency_mse(estimate, truth))
+        return [
+            Fig9FreqRecord(
+                panel=panel,
+                epsilon=epsilon,
+                scheme=name,
+                mse=float(np.mean(per_scheme_errors[name])),
+                poisoned_categories=poisoned,
+            )
+            for name in self.schemes
+        ]
+
+
 def run_fig9_frequency(
     scale: ExperimentScale = QUICK_SCALE,
     epsilons: Sequence[float] = PAPER_EPSILONS,
     panels: Dict[str, Sequence[int]] | None = None,
     schemes: Sequence[str] = ("DAP-EMF", "DAP-EMF*", "DAP-CEMF*", "Ostrich"),
     rng: RngLike = None,
+    n_workers: int | str | None = None,
 ) -> List[Fig9FreqRecord]:
     """Regenerate the categorical frequency-estimation experiments."""
     rng = ensure_rng(rng)
     if panels is None:
         panels = {"c": FIG9C_POISONED, "d": FIG9D_POISONED}
     dataset = covid_dataset(n_samples=scale.n_users, rng=rng)
-    n_categories = dataset.n_categories
-
-    estimator_of = {
-        "DAP-EMF": "emf",
-        "DAP-EMF*": "emf_star",
-        "DAP-CEMF*": "cemf_star",
-    }
-
-    records: List[Fig9FreqRecord] = []
-    for panel, poisoned in panels.items():
-        for epsilon in epsilons:
-            trial_rngs = spawn_rngs(rng, scale.n_trials)
-            per_scheme_errors: Dict[str, List[float]] = {name: [] for name in schemes}
-            for trial_rng in trial_rngs:
-                n_byzantine = int(round(scale.n_users * scale.gamma))
-                n_normal = scale.n_users - n_byzantine
-                normal_categories = dataset.sample(n_normal, trial_rng)
-                truth = np.bincount(normal_categories, minlength=n_categories) / n_normal
-
-                dap = FrequencyDAP(epsilon, n_categories)
-                reports = dap.collect(
-                    normal_categories, poisoned, n_byzantine, rng=trial_rng
-                )
-                for name in schemes:
-                    if name == "Ostrich":
-                        mechanism = KRandomizedResponse(epsilon, n_categories)
-                        estimate = ostrich_frequencies(mechanism, reports)
-                    else:
-                        scheme_dap = FrequencyDAP(
-                            epsilon, n_categories, estimator=estimator_of[name]
-                        )
-                        estimate = scheme_dap.estimate(reports).frequencies
-                    per_scheme_errors[name].append(frequency_mse(estimate, truth))
-            for name in schemes:
-                records.append(
-                    Fig9FreqRecord(
-                        panel=panel,
-                        epsilon=epsilon,
-                        scheme=name,
-                        mse=float(np.mean(per_scheme_errors[name])),
-                        poisoned_categories=tuple(poisoned),
-                    )
-                )
-    return records
+    points = [
+        {"panel": panel, "epsilon": epsilon, "poisoned": tuple(poisoned)}
+        for panel, poisoned in panels.items()
+        for epsilon in epsilons
+    ]
+    spec = Fig9FreqSpec(
+        name="fig9_freq",
+        description="Figure 9(c)(d): categorical frequency estimation",
+        points=points,
+        n_users=scale.n_users,
+        n_trials=scale.n_trials,
+        gamma=scale.gamma,
+        dataset=dataset,
+        schemes=tuple(schemes),
+    )
+    return run_experiment(spec, rng=rng, n_workers=n_workers)
 
 
 def format_fig9_frequency(records: Sequence[Fig9FreqRecord]) -> str:
@@ -128,6 +155,7 @@ def format_fig9_frequency(records: Sequence[Fig9FreqRecord]) -> str:
 
 __all__ = [
     "Fig9FreqRecord",
+    "Fig9FreqSpec",
     "run_fig9_frequency",
     "format_fig9_frequency",
     "FIG9C_POISONED",

@@ -10,8 +10,8 @@ side decision reliable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
 
 import numpy as np
 
@@ -19,6 +19,7 @@ from repro.attacks import BiasedByzantineAttack, PAPER_POISON_RANGES
 from repro.core.probing import probe_poisoned_side
 from repro.core.transform import default_bucket_counts
 from repro.datasets import taxi_dataset
+from repro.engine import ExperimentSpec, run_experiment
 from repro.experiments.defaults import ExperimentScale, QUICK_SCALE
 from repro.ldp import PiecewiseMechanism
 from repro.utils.rng import RngLike, ensure_rng
@@ -41,45 +42,67 @@ class Table1Record:
     selected_side: str
 
 
+@dataclass
+class Table1Spec(ExperimentSpec):
+    """Point-granular spec: one probing round per (range, epsilon) cell."""
+
+    values: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    def evaluate_point(self, point: Mapping, trial_seeds) -> Sequence[Table1Record]:
+        rng = np.random.default_rng(int(trial_seeds[0]))
+        range_name = point["poison_range"]
+        epsilon = float(point["epsilon"])
+        mechanism = PiecewiseMechanism(epsilon)
+        attack = BiasedByzantineAttack(PAPER_POISON_RANGES[range_name], side="right")
+        n_byzantine = int(round(self.n_users * self.point_gamma(point)))
+        n_normal = self.n_users - n_byzantine
+        normal_reports = mechanism.perturb(self.values[:n_normal], rng)
+        poison_reports = attack.poison_reports(n_byzantine, mechanism, 0.0, rng).reports
+        reports = np.concatenate([normal_reports, poison_reports])
+        d_in, d_out = default_bucket_counts(reports.size, epsilon)
+        probe = probe_poisoned_side(
+            mechanism,
+            reports,
+            n_input_buckets=d_in,
+            n_output_buckets=d_out,
+            reference_mean=0.0,
+            epsilon=epsilon,
+        )
+        return [
+            Table1Record(
+                poison_range=range_name,
+                epsilon=epsilon,
+                variance_left=probe.variance_left,
+                variance_right=probe.variance_right,
+                selected_side=probe.side,
+            )
+        ]
+
+
 def run_table1(
     scale: ExperimentScale = QUICK_SCALE,
     epsilons: Sequence[float] = TABLE1_EPSILONS,
     poison_ranges: Sequence[str] = TABLE1_RANGES,
     rng: RngLike = None,
+    n_workers: int | str | None = None,
 ) -> List[Table1Record]:
     """Regenerate Table I on the (synthetic) Taxi dataset."""
     rng = ensure_rng(rng)
     dataset = taxi_dataset(n_samples=scale.n_users, rng=rng)
-    records: List[Table1Record] = []
-    for range_name in poison_ranges:
-        poison_range = PAPER_POISON_RANGES[range_name]
-        for epsilon in epsilons:
-            mechanism = PiecewiseMechanism(epsilon)
-            attack = BiasedByzantineAttack(poison_range, side="right")
-            n_byzantine = int(round(scale.n_users * scale.gamma))
-            n_normal = scale.n_users - n_byzantine
-            normal_reports = mechanism.perturb(dataset.values[:n_normal], rng)
-            poison_reports = attack.poison_reports(n_byzantine, mechanism, 0.0, rng).reports
-            reports = np.concatenate([normal_reports, poison_reports])
-            d_in, d_out = default_bucket_counts(reports.size, epsilon)
-            probe = probe_poisoned_side(
-                mechanism,
-                reports,
-                n_input_buckets=d_in,
-                n_output_buckets=d_out,
-                reference_mean=0.0,
-                epsilon=epsilon,
-            )
-            records.append(
-                Table1Record(
-                    poison_range=range_name,
-                    epsilon=epsilon,
-                    variance_left=probe.variance_left,
-                    variance_right=probe.variance_right,
-                    selected_side=probe.side,
-                )
-            )
-    return records
+    spec = Table1Spec(
+        name="table1",
+        description="Table I: reconstructed-histogram variance, left vs right",
+        points=[
+            {"poison_range": range_name, "epsilon": epsilon}
+            for range_name in poison_ranges
+            for epsilon in epsilons
+        ],
+        n_users=scale.n_users,
+        n_trials=1,
+        gamma=scale.gamma,
+        values=dataset.values,
+    )
+    return run_experiment(spec, rng=rng, n_workers=n_workers)
 
 
 def format_table1(records: Sequence[Table1Record]) -> str:
@@ -109,4 +132,11 @@ def format_table1(records: Sequence[Table1Record]) -> str:
     return "\n".join(lines)
 
 
-__all__ = ["Table1Record", "run_table1", "format_table1", "TABLE1_RANGES", "TABLE1_EPSILONS"]
+__all__ = [
+    "Table1Record",
+    "Table1Spec",
+    "run_table1",
+    "format_table1",
+    "TABLE1_RANGES",
+    "TABLE1_EPSILONS",
+]

@@ -54,13 +54,6 @@ class EMResult:
     converged: bool
 
 
-def _log_likelihood(transform: np.ndarray, counts: np.ndarray, weights: np.ndarray) -> float:
-    mixture = transform @ weights
-    mask = counts > 0
-    safe = np.clip(mixture[mask], 1e-300, None)
-    return float(np.dot(counts[mask], np.log(safe)))
-
-
 def em_reconstruct(
     transform: np.ndarray,
     counts: np.ndarray,
@@ -134,12 +127,18 @@ def em_reconstruct(
             raise ValueError("fixed_zero mask suppresses every component")
         weights /= total
 
-    prev_ll = _log_likelihood(transform, counts, weights)
+    # One matrix-vector product per iteration: the mixture computed for the
+    # convergence check is exactly the mixture the next E-step needs, so it is
+    # carried forward instead of being recomputed (bit-identical, ~1/3 fewer
+    # BLAS calls).  The log-likelihood mask is constant across iterations.
+    mask = counts > 0
+    masked_counts = counts[mask]
+    mixture = transform @ weights
+    prev_ll = float(np.dot(masked_counts, np.log(np.maximum(mixture[mask], 1e-300))))
     converged = False
     iteration = 0
     for iteration in range(1, max_iter + 1):
-        mixture = transform @ weights
-        mixture = np.clip(mixture, 1e-300, None)
+        mixture = np.maximum(mixture, 1e-300)
         # responsibilities aggregated over output buckets
         responsibilities = weights * (transform.T @ (counts / mixture))
         if zero_mask is not None:
@@ -154,7 +153,8 @@ def em_reconstruct(
             if zero_mask is not None:
                 weights = weights.copy()
                 weights[zero_mask] = 0.0
-        ll = _log_likelihood(transform, counts, weights)
+        mixture = transform @ weights
+        ll = float(np.dot(masked_counts, np.log(np.maximum(mixture[mask], 1e-300))))
         if abs(ll - prev_ll) < tol:
             prev_ll = ll
             converged = True

@@ -20,7 +20,10 @@ which is exactly the ``Var_worst`` term in the DAP aggregation weights
 Besides sampling, this module exposes the *analytical* transition
 probabilities that the EMF transform matrix (Figure 2 of the paper) is built
 from: :meth:`PiecewiseMechanism.interval_probability` integrates the output
-density over an arbitrary output interval for a given input.
+density over an arbitrary output interval for a given input.  These matrices
+depend only on ``(epsilon, grid sizes)``, so sweep workloads build them
+through :func:`repro.core.transform.cached_transform_matrix`, which memoises
+them per process (see :mod:`repro.utils.transform_cache`).
 """
 
 from __future__ import annotations

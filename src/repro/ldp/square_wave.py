@@ -29,6 +29,7 @@ from repro.ldp.base import NumericalMechanism
 from repro.utils.discretization import BucketGrid
 from repro.utils.histogram import histogram_mean, normalize_histogram
 from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.transform_cache import cached_matrix, mechanism_cache_key
 
 
 class SquareWaveMechanism(NumericalMechanism):
@@ -141,7 +142,12 @@ class SquareWaveMechanism(NumericalMechanism):
             n_output_buckets = max(2 * n_input_buckets, 32)
         in_grid = BucketGrid(0.0, 1.0, n_input_buckets)
         out_grid = BucketGrid(*self.output_domain, n_output_buckets)
-        transform = self.interval_probability_matrix(in_grid.centers, out_grid.edges)
+        # the EMS transition matrix depends only on (epsilon, grid sizes), so
+        # repeated reconstructions in a sweep reuse the process-local cache
+        transform = cached_matrix(
+            mechanism_cache_key(self) + ("ems_transform", n_input_buckets, n_output_buckets),
+            lambda: self.interval_probability_matrix(in_grid.centers, out_grid.edges),
+        )
         counts = out_grid.counts(reports)
         histogram = expectation_maximization_smoothing(
             transform, counts, smoothing=smoothing, max_iter=max_iter, tol=tol

@@ -43,18 +43,37 @@ class TrialResult:
 
     @property
     def mse(self) -> float:
-        """Mean squared error across trials."""
+        """Mean squared error across trials.
+
+        Raises
+        ------
+        ValueError
+            If no trials were recorded — an empty estimate list would
+            otherwise propagate as a silent NaN through result tables.
+        """
         estimates = np.asarray(self.estimates, dtype=float)
         truths = np.asarray(self.truths, dtype=float)
         if estimates.size == 0:
-            raise ValueError("no trials recorded")
+            raise ValueError(
+                f"scheme {self.scheme!r} has no recorded trials; cannot compute mse"
+            )
         return float(np.mean((estimates - truths) ** 2))
 
     @property
     def bias(self) -> float:
-        """Mean signed error across trials."""
+        """Mean signed error across trials.
+
+        Raises
+        ------
+        ValueError
+            If no trials were recorded (same contract as :attr:`mse`).
+        """
         estimates = np.asarray(self.estimates, dtype=float)
         truths = np.asarray(self.truths, dtype=float)
+        if estimates.size == 0:
+            raise ValueError(
+                f"scheme {self.scheme!r} has no recorded trials; cannot compute bias"
+            )
         return float(np.mean(estimates - truths))
 
     def mse_against(self, truth: float) -> float:
@@ -86,6 +105,75 @@ def run_trials(
     return result
 
 
+def run_trials_from_seeds(
+    scheme: Scheme,
+    dataset: NumericalDataset,
+    attack: Attack | None,
+    n_users: int,
+    gamma: float,
+    trial_seeds: Sequence[int],
+    input_domain: tuple[float, float] = (-1.0, 1.0),
+) -> TrialResult:
+    """Run one trial per explicit seed (the paired-comparison primitive).
+
+    Each trial re-seeds a fresh generator, so two calls with the same seed
+    list — for different schemes, or in different worker processes — see the
+    identical population draw per trial index.  This is the unit of work the
+    parallel experiment engine fans out.
+    """
+    result = TrialResult(scheme=scheme.name)
+    for seed in trial_seeds:
+        trial_rng = np.random.default_rng(int(seed))
+        population = build_population(
+            dataset, n_users, gamma, rng=trial_rng, input_domain=input_domain
+        )
+        estimate = scheme.estimate(population, attack, rng=trial_rng)
+        result.estimates.append(float(estimate))
+        result.truths.append(population.true_mean)
+    return result
+
+
+def run_trials_batched(
+    scheme: Scheme,
+    dataset: NumericalDataset,
+    attack: Attack | None,
+    n_users: int,
+    gamma: float,
+    trial_seeds: Sequence[int],
+    input_domain: tuple[float, float] = (-1.0, 1.0),
+) -> TrialResult:
+    """Batched variant of :func:`run_trials_from_seeds`.
+
+    Populations are still drawn per trial seed (so the paired-comparison
+    guarantee — identical truths across schemes per trial index — is
+    preserved exactly), but the estimation side is handed to
+    :meth:`~repro.simulation.schemes.Scheme.estimate_batch`, which stacks all
+    trials' populations and, for single-round schemes, perturbs them with one
+    mechanism call per scheme instead of one per trial.  The estimation
+    randomness comes from a single stream derived from the full seed list, so
+    results are deterministic but differ from the per-trial path.
+    """
+    populations = [
+        build_population(
+            dataset,
+            n_users,
+            gamma,
+            rng=np.random.default_rng(int(seed)),
+            input_domain=input_domain,
+        )
+        for seed in trial_seeds
+    ]
+    batch_rng = np.random.default_rng(
+        np.random.SeedSequence([int(seed) for seed in trial_seeds])
+    )
+    estimates = scheme.estimate_batch(populations, attack, rng=batch_rng)
+    return TrialResult(
+        scheme=scheme.name,
+        estimates=[float(estimate) for estimate in estimates],
+        truths=[population.true_mean for population in populations],
+    )
+
+
 def evaluate_schemes(
     schemes: Sequence[Scheme],
     dataset: NumericalDataset,
@@ -95,27 +183,30 @@ def evaluate_schemes(
     n_trials: int = 5,
     rng: RngLike = None,
     input_domain: tuple[float, float] = (-1.0, 1.0),
+    batched: bool = False,
 ) -> Dict[str, TrialResult]:
     """Evaluate several schemes on the *same* sequence of trial seeds.
 
     Using a shared seed sequence per trial index keeps the comparison paired:
     every scheme sees the same population draw and the same attack randomness,
-    which reduces the variance of MSE differences between schemes.
+    which reduces the variance of MSE differences between schemes.  With
+    ``batched=True`` the estimation side goes through the stacked-trials path
+    (same populations and truths, different perturbation stream).
     """
     rng = ensure_rng(rng)
     trial_seeds = rng.integers(0, 2**63 - 1, size=n_trials, dtype=np.int64)
+    runner = run_trials_batched if batched else run_trials_from_seeds
     results: Dict[str, TrialResult] = {}
     for scheme in schemes:
-        result = TrialResult(scheme=scheme.name)
-        for seed in trial_seeds:
-            trial_rng = np.random.default_rng(int(seed))
-            population = build_population(
-                dataset, n_users, gamma, rng=trial_rng, input_domain=input_domain
-            )
-            estimate = scheme.estimate(population, attack, rng=trial_rng)
-            result.estimates.append(float(estimate))
-            result.truths.append(population.true_mean)
-        results[scheme.name] = result
+        results[scheme.name] = runner(
+            scheme,
+            dataset,
+            attack,
+            n_users,
+            gamma,
+            trial_seeds,
+            input_domain=input_domain,
+        )
     return results
 
 
@@ -124,4 +215,11 @@ def summarize_mse(results: Dict[str, TrialResult]) -> Dict[str, float]:
     return {name: result.mse for name, result in results.items()}
 
 
-__all__ = ["TrialResult", "run_trials", "evaluate_schemes", "summarize_mse"]
+__all__ = [
+    "TrialResult",
+    "run_trials",
+    "run_trials_from_seeds",
+    "run_trials_batched",
+    "evaluate_schemes",
+    "summarize_mse",
+]

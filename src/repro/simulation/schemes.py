@@ -9,7 +9,7 @@ Ostrich, Trimming, the k-means defence, and any other defence interchangeably
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict
+from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
@@ -25,7 +25,7 @@ from repro.defenses.trimming import TrimmingDefense
 from repro.ldp.base import NumericalMechanism
 from repro.ldp.piecewise import PiecewiseMechanism
 from repro.simulation.population import Population
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 
 MechanismFactory = Callable[[float], NumericalMechanism]
 
@@ -40,6 +40,27 @@ class Scheme(abc.ABC):
         self, population: Population, attack: Attack | None, rng: RngLike = None
     ) -> float:
         """Run one collection round and return the mean estimate."""
+
+    def estimate_batch(
+        self,
+        populations: "Sequence[Population]",
+        attack: Attack | None,
+        rng: RngLike = None,
+    ) -> np.ndarray:
+        """Estimate a stack of trial populations, one estimate per trial.
+
+        The default implementation spawns one child stream per trial and runs
+        :meth:`estimate` in a loop; schemes whose collection round is a single
+        vectorisable mechanism call override this to perturb all trials at
+        once (see :meth:`SingleRoundScheme.estimate_batch`).
+        """
+        rngs = spawn_rngs(ensure_rng(rng), len(populations))
+        return np.array(
+            [
+                float(self.estimate(population, attack, rng=trial_rng))
+                for population, trial_rng in zip(populations, rngs)
+            ]
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
@@ -97,6 +118,45 @@ class SingleRoundScheme(Scheme):
         ).reports
         reports = np.concatenate([normal_reports, poison_reports])
         return self.defense.estimate_mean(reports, self.mechanism, rng).estimate
+
+    def estimate_batch(
+        self,
+        populations: Sequence[Population],
+        attack: Attack | None,
+        rng: RngLike = None,
+    ) -> np.ndarray:
+        """Batched collection: one ``perturb`` call for all trials.
+
+        All trials' normal values are stacked into a single array and
+        perturbed in one mechanism call, and all trials' poison reports are
+        drawn in one attack call, instead of one call per trial.  The reports
+        are then split back per trial and fed to the defence.
+        """
+        rng = ensure_rng(rng)
+        attack = attack or NoAttack()
+
+        normal_sizes = np.array([p.n_normal for p in populations])
+        stacked = np.concatenate([p.normal_values for p in populations])
+        normal_reports = np.split(
+            self.mechanism.perturb(stacked, rng), np.cumsum(normal_sizes)[:-1]
+        )
+
+        byzantine_sizes = np.array([p.n_byzantine for p in populations])
+        total_byzantine = int(byzantine_sizes.sum())
+        poison_all = (
+            attack.poison_reports(total_byzantine, self.mechanism, 0.0, rng).reports
+            if total_byzantine
+            else np.empty(0)
+        )
+        poison_reports = np.split(poison_all, np.cumsum(byzantine_sizes)[:-1])
+
+        estimates = np.empty(len(populations))
+        for index, (normal, poison) in enumerate(zip(normal_reports, poison_reports)):
+            reports = np.concatenate([normal, poison])
+            estimates[index] = self.defense.estimate_mean(
+                reports, self.mechanism, rng
+            ).estimate
+        return estimates
 
 
 class BaselineProtocolScheme(Scheme):

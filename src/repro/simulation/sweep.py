@@ -97,6 +97,24 @@ def sweep(
     return records
 
 
+def _point_key(record: SweepRecord, key: str, role: str) -> Any:
+    """Resolve a pivot key on a record, refusing to collapse missing keys.
+
+    A record whose point lacks the requested key would previously land on a
+    shared ``None`` row/column, silently merging unrelated measurements; a
+    heterogeneous sweep (e.g. panels with different parameters) must instead
+    be filtered before pivoting.
+    """
+    if key == "scheme":
+        return record.scheme
+    if key not in record.point:
+        raise KeyError(
+            f"{role} key {key!r} missing from sweep point {record.point!r}; "
+            f"filter the records to one panel before pivoting"
+        )
+    return record.point[key]
+
+
 def records_to_table(
     records: Sequence[SweepRecord],
     row_key: str,
@@ -106,8 +124,8 @@ def records_to_table(
     """Pivot sweep records into ``{row -> {column -> value}}`` for printing."""
     table: Dict[Any, Dict[Any, float]] = {}
     for record in records:
-        row = record.point.get(row_key) if row_key != "scheme" else record.scheme
-        column = record.scheme if column_key == "scheme" else record.point.get(column_key)
+        row = _point_key(record, row_key, "row")
+        column = _point_key(record, column_key, "column")
         cell = getattr(record, value)
         table.setdefault(row, {})[column] = cell
     return table

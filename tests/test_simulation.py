@@ -128,6 +128,22 @@ class TestRunner:
         assert results["DAP-EMF*"].mse < results["Ostrich"].mse
 
 
+class TestTrialResultEmpty:
+    def test_mse_raises_on_empty(self):
+        from repro.simulation.runner import TrialResult
+
+        result = TrialResult(scheme="empty")
+        with pytest.raises(ValueError, match="no recorded trials"):
+            result.mse
+
+    def test_bias_raises_on_empty(self):
+        from repro.simulation.runner import TrialResult
+
+        result = TrialResult(scheme="empty")
+        with pytest.raises(ValueError, match="no recorded trials"):
+            result.bias
+
+
 class TestSweep:
     def test_sweep_produces_record_per_point_and_scheme(self, dataset):
         points = [{"epsilon": 0.5}, {"epsilon": 1.0}]
@@ -174,3 +190,18 @@ class TestSweep:
         assert set(table[0.5]) == {"Ostrich", "Trimming"}
         text = format_table(table, row_label="epsilon")
         assert "Ostrich" in text and "0.5" in text
+
+    def test_records_to_table_rejects_missing_row_key(self, dataset):
+        from repro.simulation.sweep import SweepRecord
+
+        records = [
+            SweepRecord(point={"epsilon": 0.5}, scheme="Ostrich", mse=1.0,
+                        bias=0.0, n_trials=1),
+            SweepRecord(point={"gamma": 0.25}, scheme="Ostrich", mse=2.0,
+                        bias=0.0, n_trials=1),
+        ]
+        # heterogeneous points must be filtered per panel, not collapsed
+        with pytest.raises(KeyError, match="epsilon"):
+            records_to_table(records, row_key="epsilon")
+        with pytest.raises(KeyError, match="gamma"):
+            records_to_table(records, row_key="scheme", column_key="gamma")

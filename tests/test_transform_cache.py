@@ -1,0 +1,118 @@
+"""Tests for the process-local transform cache.
+
+Satellite guarantees: a cache hit returns the same array a fresh build would
+produce (for both PM and SW across several ``(epsilon, n_buckets)``
+combinations), and mutating a returned matrix can never poison the cache.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.transform import build_transform_matrix, cached_transform_matrix
+from repro.ldp import PiecewiseMechanism, SquareWaveMechanism
+from repro.utils.transform_cache import (
+    CACHE_CAPACITY,
+    cached_matrix,
+    clear_transform_cache,
+    mechanism_cache_key,
+    transform_cache_stats,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_transform_cache()
+    yield
+    clear_transform_cache()
+
+
+MECHANISMS = [PiecewiseMechanism, SquareWaveMechanism]
+GRIDS = [(0.25, 8, 16), (0.5, 12, 24), (1.0, 16, 32), (2.0, 10, 40)]
+
+
+class TestCachedTransformMatrix:
+    @pytest.mark.parametrize("mechanism_factory", MECHANISMS)
+    @pytest.mark.parametrize("epsilon,d_in,d_out", GRIDS)
+    def test_hit_equals_fresh_build(self, mechanism_factory, epsilon, d_in, d_out):
+        mechanism = mechanism_factory(epsilon)
+        fresh = build_transform_matrix(mechanism, d_in, d_out, side="right")
+        cached_first = cached_transform_matrix(mechanism, d_in, d_out, side="right")
+        cached_second = cached_transform_matrix(mechanism, d_in, d_out, side="right")
+        np.testing.assert_array_equal(cached_first.matrix, fresh.matrix)
+        np.testing.assert_array_equal(cached_second.matrix, fresh.matrix)
+        np.testing.assert_array_equal(
+            cached_second.poison_bucket_indices, fresh.poison_bucket_indices
+        )
+        assert transform_cache_stats()["hits"] >= 1
+
+    @pytest.mark.parametrize("mechanism_factory", MECHANISMS)
+    def test_mutation_does_not_poison_cache(self, mechanism_factory):
+        mechanism = mechanism_factory(1.0)
+        first = cached_transform_matrix(mechanism, 10, 20)
+        expected = first.matrix.copy()
+        first.matrix[:] = -1.0  # vandalise the returned copy
+        second = cached_transform_matrix(mechanism, 10, 20)
+        np.testing.assert_array_equal(second.matrix, expected)
+
+    def test_distinct_epsilons_get_distinct_entries(self):
+        a = cached_transform_matrix(PiecewiseMechanism(0.5), 8, 16)
+        b = cached_transform_matrix(PiecewiseMechanism(1.0), 8, 16)
+        assert a.matrix.shape != b.matrix.shape or not np.array_equal(a.matrix, b.matrix)
+        assert transform_cache_stats()["misses"] == 2
+
+    def test_sides_share_the_normal_block_entry(self):
+        mechanism = PiecewiseMechanism(1.0)
+        cached_transform_matrix(mechanism, 8, 16, side="right")
+        cached_transform_matrix(mechanism, 8, 16, side="left")
+        # the expensive normal block is keyed without the side, so the second
+        # build is a hit
+        stats = transform_cache_stats()
+        assert stats["misses"] == 1 and stats["hits"] == 1
+
+    def test_mechanism_types_do_not_collide(self):
+        pm = cached_transform_matrix(PiecewiseMechanism(1.0), 8, 16)
+        sw = cached_transform_matrix(SquareWaveMechanism(1.0), 8, 16)
+        assert pm.output_grid.low != sw.output_grid.low
+        assert transform_cache_stats()["misses"] == 2
+
+
+class TestGenericCache:
+    def test_builder_called_once(self):
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return np.arange(6.0).reshape(2, 3)
+
+        key = ("test-entry",)
+        first = cached_matrix(key, builder)
+        second = cached_matrix(key, builder)
+        assert calls == [1]
+        np.testing.assert_array_equal(first, second)
+        first[0, 0] = 99.0
+        third = cached_matrix(key, builder)
+        assert third[0, 0] == 0.0
+
+    def test_lru_eviction_beyond_capacity(self):
+        for index in range(CACHE_CAPACITY + 10):
+            cached_matrix(("entry", index), lambda: np.zeros(1))
+        assert transform_cache_stats()["size"] == CACHE_CAPACITY
+
+    def test_mechanism_cache_key_distinguishes(self):
+        assert mechanism_cache_key(PiecewiseMechanism(1.0)) != mechanism_cache_key(
+            SquareWaveMechanism(1.0)
+        )
+        assert mechanism_cache_key(PiecewiseMechanism(1.0)) != mechanism_cache_key(
+            PiecewiseMechanism(2.0)
+        )
+
+
+class TestCachedPathsStayIdentical:
+    def test_sw_reconstruction_unaffected_by_cache(self):
+        """EMS via the cache must equal EMS with a cold cache (same arrays)."""
+        mechanism = SquareWaveMechanism(1.0)
+        rng = np.random.default_rng(0)
+        reports = mechanism.perturb(rng.random(2_000), rng)
+        cold, _ = mechanism.reconstruct_distribution(reports, n_input_buckets=32)
+        warm, _ = mechanism.reconstruct_distribution(reports, n_input_buckets=32)
+        np.testing.assert_array_equal(cold, warm)
