@@ -16,7 +16,11 @@ Local Differential Privacy:
 * :mod:`repro.datasets` — the evaluation datasets (synthetic Beta draws and
   offline substitutes for Taxi, Retirement and COVID-19);
 * :mod:`repro.simulation` / :mod:`repro.experiments` — the experiment harness
-  regenerating every table and figure of the paper.
+  regenerating every table and figure of the paper;
+* :mod:`repro.registry` / :mod:`repro.scenario` — named-component registries
+  and the declarative scenario layer behind the ``python -m repro`` CLI,
+  which runs any attack x defense x epsilon x dataset grid through the
+  parallel engine.
 
 Quickstart::
 
@@ -44,8 +48,9 @@ from repro.core import (
     estimate_byzantine_features,
 )
 from repro.ldp import PiecewiseMechanism, SquareWaveMechanism, KRandomizedResponse
+from repro.scenario import ScenarioSpec, run_scenario
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BaselineProtocol",
@@ -60,5 +65,7 @@ __all__ = [
     "PiecewiseMechanism",
     "SquareWaveMechanism",
     "KRandomizedResponse",
+    "ScenarioSpec",
+    "run_scenario",
     "__version__",
 ]

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.ldp.base import NumericalMechanism
+from repro.registry import ATTACKS
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_integer
 
@@ -94,6 +95,7 @@ class Attack(abc.ABC):
         return f"{type(self).__name__}()"
 
 
+@ATTACKS.register("none", aliases=("no-attack", "noattack"))
 class NoAttack(Attack):
     """Degenerate attack producing zero poison reports.
 

@@ -13,9 +13,11 @@ import numpy as np
 from repro.attacks.base import Attack, AttackReport
 from repro.attacks.distributions import PoisonDistribution, PoisonRange, UniformPoison
 from repro.ldp.base import NumericalMechanism
+from repro.registry import ATTACKS
 from repro.utils.rng import RngLike, ensure_rng
 
 
+@ATTACKS.register("bba", aliases=("biased",))
 class BiasedByzantineAttack(Attack):
     """One-sided poison-value injection.
 

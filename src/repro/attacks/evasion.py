@@ -15,10 +15,12 @@ import numpy as np
 from repro.attacks.base import Attack, AttackReport
 from repro.attacks.distributions import PoisonDistribution, PoisonRange, UniformPoison
 from repro.ldp.base import NumericalMechanism
+from repro.registry import ATTACKS
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_fraction
 
 
+@ATTACKS.register("evasion", defaults={"evasive_fraction": 0.2})
 class EvasionAttack(Attack):
     """BBA with a fraction of evasive poison values on the opposite side.
 

@@ -15,10 +15,12 @@ import numpy as np
 from repro.attacks.base import Attack, AttackReport
 from repro.attacks.distributions import PoisonDistribution, UniformPoison
 from repro.ldp.base import NumericalMechanism
+from repro.registry import ATTACKS
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_fraction
 
 
+@ATTACKS.register("gba", aliases=("general",))
 class GeneralByzantineAttack(Attack):
     """Arbitrary poison values over the whole output domain.
 

@@ -14,10 +14,12 @@ import numpy as np
 
 from repro.attacks.base import Attack, AttackReport
 from repro.ldp.base import NumericalMechanism
+from repro.registry import ATTACKS
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_in_interval
 
 
+@ATTACKS.register("ima", aliases=("input-manipulation",))
 class InputManipulationAttack(Attack):
     """Perturb a chosen input poison value ``g`` through the real mechanism.
 

@@ -1,0 +1,163 @@
+"""``python -m repro`` — run declarative scenarios from the command line.
+
+Three subcommands:
+
+* ``run <scenario.json>`` — execute a scenario file through the parallel
+  executor, persist a resumable run artifact and print the result tables;
+* ``resume <scenario.json>`` — continue an interrupted run from its artifact
+  (the artifact must exist; completed units are reused);
+* ``list-components`` — print every registered mechanism, attack, defense,
+  scheme and dataset name the scenario schema accepts.
+
+Exit status: ``0`` on success, ``1`` on scenario/component errors, ``2`` if a
+run unexpectedly produced no records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Sequence
+
+from repro.registry import ALL_REGISTRIES
+from repro.scenario import ScenarioSpec, format_scenario_records, run_scenario
+
+
+def _workers(value: str) -> int | str:
+    """Parse ``--workers``: a positive integer or ``auto`` (one per CPU)."""
+    if value == "auto":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--workers must be an integer or 'auto', got {value!r}"
+        ) from None
+
+
+def _default_store(scenario: ScenarioSpec) -> str:
+    return os.path.join("runs", f"{scenario.name}.json")
+
+
+def _execute(args: argparse.Namespace, resume: bool, require_artifact: bool) -> int:
+    scenario = ScenarioSpec.from_file(args.scenario)
+    store = args.store or _default_store(scenario)
+    if require_artifact and not os.path.exists(store):
+        print(
+            f"error: no run artifact at {store!r} to resume from; "
+            f"use 'run' to start it",
+            file=sys.stderr,
+        )
+        return 1
+    records = run_scenario(
+        scenario,
+        n_workers=args.workers,
+        store_path=store,
+        resume=resume,
+    )
+    if not records:
+        print(f"error: scenario {scenario.name!r} produced no records", file=sys.stderr)
+        return 2
+    print(
+        f"{scenario.name}: {len(records)} records "
+        f"({len(set(str(r.point) for r in records))} grid points x "
+        f"{len(set(r.scheme for r in records))} schemes), artifact: {store}"
+    )
+    if not args.quiet:
+        print()
+        print(format_scenario_records(records))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    return _execute(args, resume=not args.fresh, require_artifact=False)
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    return _execute(args, resume=True, require_artifact=True)
+
+
+def _cmd_list_components(args: argparse.Namespace) -> int:
+    for group, registry in ALL_REGISTRIES.items():
+        print(f"{group}:")
+        for entry in registry.entries():
+            notes = []
+            if entry.aliases:
+                notes.append(f"aliases: {', '.join(entry.aliases)}")
+            kind = entry.metadata.get("kind")
+            if kind:
+                notes.append(kind)
+            if entry.defaults:
+                notes.append(
+                    "defaults: "
+                    + ", ".join(f"{k}={v!r}" for k, v in entry.defaults.items())
+                )
+            suffix = f"  ({'; '.join(notes)})" if notes else ""
+            print(f"  {entry.name}{suffix}")
+        print()
+    print("(every defense is also accepted as a single-round scheme name)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run declarative attack x defense x epsilon x dataset scenarios.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="execute a scenario file")
+    run_parser.add_argument("scenario", help="path to a scenario JSON file")
+    run_parser.add_argument(
+        "--workers",
+        type=_workers,
+        default=None,
+        help="process-pool size, or 'auto' for one worker per CPU (default: serial)",
+    )
+    run_parser.add_argument(
+        "--store",
+        default=None,
+        help="run-artifact path (default: runs/<scenario name>.json)",
+    )
+    run_parser.add_argument(
+        "--fresh",
+        action="store_true",
+        help="ignore any existing artifact and recompute every unit",
+    )
+    run_parser.add_argument(
+        "--quiet", action="store_true", help="print only the summary line"
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    resume_parser = sub.add_parser(
+        "resume", help="continue an interrupted run from its artifact"
+    )
+    resume_parser.add_argument("scenario", help="path to a scenario JSON file")
+    resume_parser.add_argument("--workers", type=_workers, default=None)
+    resume_parser.add_argument("--store", default=None)
+    resume_parser.add_argument("--quiet", action="store_true")
+    resume_parser.set_defaults(func=_cmd_resume)
+
+    list_parser = sub.add_parser(
+        "list-components", help="list every registered component name"
+    )
+    list_parser.set_defaults(func=_cmd_list_components)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except OSError as error:
+        # str(OSError) includes strerror + filename; args[0] is a bare errno
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except (KeyError, ValueError, TypeError) as error:
+        message = error.args[0] if error.args else error
+        print(f"error: {message}", file=sys.stderr)
+        return 1
+
+
+__all__ = ["main", "build_parser"]

@@ -2,18 +2,21 @@
 
 ``load_dataset("Taxi", n_samples=100_000, rng=0)`` is the single entry point
 used by the experiment drivers and the benchmarks so that every figure can be
-regenerated with one consistent call per dataset.
+regenerated with one consistent call per dataset.  The names live in the
+shared component registry (:data:`repro.registry.DATASETS`), which also backs
+the scenario layer and the ``python -m repro`` CLI.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Union
+from typing import Union
 
 from repro.datasets.base import CategoricalDataset, NumericalDataset
 from repro.datasets.covid import covid_dataset
 from repro.datasets.retirement import retirement_dataset
 from repro.datasets.synthetic import beta_dataset, gaussian_dataset, uniform_dataset
 from repro.datasets.taxi import taxi_dataset
+from repro.registry import DATASETS
 from repro.utils.rng import RngLike
 
 Dataset = Union[NumericalDataset, CategoricalDataset]
@@ -21,20 +24,22 @@ Dataset = Union[NumericalDataset, CategoricalDataset]
 #: the four numerical datasets + one categorical dataset used in the paper
 PAPER_DATASETS = ("Beta(2,5)", "Beta(5,2)", "Taxi", "Retirement", "COVID-19")
 
-_FACTORIES: Dict[str, Callable[..., Dataset]] = {
-    "beta(2,5)": lambda n_samples, rng: beta_dataset(2.0, 5.0, n_samples, rng),
-    "beta(5,2)": lambda n_samples, rng: beta_dataset(5.0, 2.0, n_samples, rng),
-    "taxi": taxi_dataset,
-    "retirement": retirement_dataset,
-    "covid-19": covid_dataset,
-    "uniform": uniform_dataset,
-    "gaussian": gaussian_dataset,
-}
+DATASETS.register("Beta(2,5)", defaults={"a": 2.0, "b": 5.0}, kind="numerical")(
+    beta_dataset
+)
+DATASETS.register("Beta(5,2)", defaults={"a": 5.0, "b": 2.0}, kind="numerical")(
+    beta_dataset
+)
+DATASETS.register("Taxi", kind="numerical")(taxi_dataset)
+DATASETS.register("Retirement", kind="numerical")(retirement_dataset)
+DATASETS.register("COVID-19", aliases=("covid",), kind="categorical")(covid_dataset)
+DATASETS.register("Uniform", kind="numerical")(uniform_dataset)
+DATASETS.register("Gaussian", kind="numerical")(gaussian_dataset)
 
 
 def available_datasets() -> tuple[str, ...]:
     """Names accepted by :func:`load_dataset` (case-insensitive)."""
-    return tuple(sorted(_FACTORIES))
+    return DATASETS.names()
 
 
 def load_dataset(name: str, n_samples: int = 100_000, rng: RngLike = None) -> Dataset:
@@ -49,12 +54,7 @@ def load_dataset(name: str, n_samples: int = 100_000, rng: RngLike = None) -> Da
     rng:
         Seed or generator for reproducibility.
     """
-    key = name.strip().lower()
-    if key not in _FACTORIES:
-        raise KeyError(
-            f"unknown dataset {name!r}; available: {', '.join(available_datasets())}"
-        )
-    return _FACTORIES[key](n_samples=n_samples, rng=rng)
+    return DATASETS.create(name, n_samples=n_samples, rng=rng)
 
 
 __all__ = ["load_dataset", "available_datasets", "PAPER_DATASETS", "Dataset"]

@@ -14,10 +14,12 @@ import numpy as np
 
 from repro.defenses.base import Defense, DefenseResult
 from repro.ldp.base import NumericalMechanism
+from repro.registry import DEFENSES
 from repro.utils.rng import RngLike
 from repro.utils.validation import check_positive
 
 
+@DEFENSES.register("Boxplot")
 class BoxplotDefense(Defense):
     """IQR-based outlier removal followed by averaging."""
 

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.defenses.base import Defense, DefenseResult
 from repro.ldp.base import NumericalMechanism
+from repro.registry import DEFENSES
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_fraction, check_integer
 
@@ -114,6 +115,7 @@ class IsolationForest:
         return scores
 
 
+@DEFENSES.register("IsolationForest", aliases=("isolation-forest",))
 class IsolationForestDefense(Defense):
     """Remove reports flagged anomalous by an isolation forest, then average."""
 

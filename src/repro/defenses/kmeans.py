@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.defenses.base import Defense, DefenseResult
 from repro.ldp.base import NumericalMechanism
+from repro.registry import DEFENSES
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_fraction, check_integer
 
@@ -61,6 +62,7 @@ def kmeans_1d(
     return labels, centers
 
 
+@DEFENSES.register("K-means", aliases=("kmeans",))
 class KMeansDefense(Defense):
     """Subset-sampling + 2-means defence.
 

@@ -11,9 +11,11 @@ import numpy as np
 
 from repro.defenses.base import Defense, DefenseResult
 from repro.ldp.base import NumericalMechanism
+from repro.registry import DEFENSES
 from repro.utils.rng import RngLike
 
 
+@DEFENSES.register("Ostrich")
 class OstrichDefense(Defense):
     """No defence: the plain LDP mean estimator applied to all reports."""
 

@@ -14,10 +14,12 @@ import numpy as np
 
 from repro.defenses.base import Defense, DefenseResult
 from repro.ldp.base import NumericalMechanism
+from repro.registry import DEFENSES
 from repro.utils.rng import RngLike
 from repro.utils.validation import check_fraction
 
 
+@DEFENSES.register("Trimming")
 class TrimmingDefense(Defense):
     """Drop a fraction of extreme reports on the (assumed) poisoned side.
 

@@ -18,6 +18,7 @@ from repro.engine.executor import (
     run_experiment,
 )
 from repro.engine.factories import (
+    AttackLookup,
     DatasetLookup,
     FixedAttack,
     FixedDataset,
@@ -25,6 +26,7 @@ from repro.engine.factories import (
     PointKey,
     PoisonRangeAttack,
     SchemesByName,
+    SchemesFromSpecs,
 )
 from repro.engine.spec import ExperimentSpec, PointSpec
 from repro.engine.store import RunArtifact, load_run, save_run
@@ -34,6 +36,7 @@ __all__ = [
     "ExperimentSpec",
     "PointSpec",
     "RunArtifact",
+    "AttackLookup",
     "DatasetLookup",
     "FixedAttack",
     "FixedDataset",
@@ -41,6 +44,7 @@ __all__ = [
     "PointKey",
     "PoisonRangeAttack",
     "SchemesByName",
+    "SchemesFromSpecs",
     "draw_seed_matrix",
     "load_run",
     "resolve_workers",

@@ -5,37 +5,51 @@ to worker processes, so factories must survive pickling — which rules out the
 lambdas the legacy drivers used.  These small frozen dataclasses cover the
 common shapes; drivers with figure-specific logic define their own factory
 classes at module level in the same style.
+
+All scheme-building factories construct components through the shared
+registries (:mod:`repro.registry`): schemes, defences and mechanisms are
+referenced by registered name, and an unknown name raises ``KeyError``
+listing what is available.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence, Tuple
+from typing import Any, Mapping, Sequence, Tuple
 
 from repro.attacks import BiasedByzantineAttack, PAPER_POISON_RANGES
 from repro.attacks.base import Attack
 from repro.datasets.base import NumericalDataset
-from repro.ldp.piecewise import PiecewiseMechanism
-from repro.simulation.schemes import MechanismFactory, Scheme, make_scheme
+from repro.simulation.schemes import (
+    MechanismFactory,
+    Scheme,
+    make_scheme,
+    resolve_mechanism,
+    scheme_from_spec,
+)
+
+#: default mechanism name used when a factory is not told otherwise
+DEFAULT_MECHANISM = "piecewise"
 
 
 @dataclass(frozen=True)
 class SchemesByName:
-    """Build the named paper schemes at the point's ``epsilon``."""
+    """Build the named registered schemes at the point's ``epsilon``."""
 
     schemes: Tuple[str, ...]
     epsilon_min: float = 1.0 / 16.0
     epsilon_key: str = "epsilon"
-    mechanism_factory: MechanismFactory = PiecewiseMechanism
+    mechanism: str | MechanismFactory = DEFAULT_MECHANISM
 
     def __call__(self, point: Mapping) -> Sequence[Scheme]:
         epsilon = float(point[self.epsilon_key])
+        mechanism_factory = resolve_mechanism(self.mechanism)
         return [
             make_scheme(
                 name,
                 epsilon=epsilon,
                 epsilon_min=self.epsilon_min,
-                mechanism_factory=self.mechanism_factory,
+                mechanism_factory=mechanism_factory,
             )
             for name in self.schemes
         ]
@@ -43,22 +57,51 @@ class SchemesByName:
 
 @dataclass(frozen=True)
 class FixedEpsilonSchemes:
-    """Build the named paper schemes at one fixed ``epsilon``."""
+    """Build the named registered schemes at one fixed ``epsilon``."""
 
     schemes: Tuple[str, ...]
     epsilon: float
     epsilon_min: float = 1.0 / 16.0
-    mechanism_factory: MechanismFactory = PiecewiseMechanism
+    mechanism: str | MechanismFactory = DEFAULT_MECHANISM
 
     def __call__(self, point: Mapping) -> Sequence[Scheme]:
+        mechanism_factory = resolve_mechanism(self.mechanism)
         return [
             make_scheme(
                 name,
                 epsilon=self.epsilon,
                 epsilon_min=self.epsilon_min,
-                mechanism_factory=self.mechanism_factory,
+                mechanism_factory=mechanism_factory,
             )
             for name in self.schemes
+        ]
+
+
+@dataclass(frozen=True)
+class SchemesFromSpecs:
+    """Build schemes from declarative specs at the point's ``epsilon``.
+
+    Each element of ``specs`` is a registered scheme/defence name or a
+    mapping understood by
+    :func:`~repro.simulation.schemes.scheme_from_spec` — the construction
+    path behind scenario files and the cross-grid drivers.
+    """
+
+    specs: Tuple[Any, ...]
+    epsilon_min: float = 1.0 / 16.0
+    epsilon_key: str = "epsilon"
+    default_mechanism: str | MechanismFactory = DEFAULT_MECHANISM
+
+    def __call__(self, point: Mapping) -> Sequence[Scheme]:
+        epsilon = float(point[self.epsilon_key])
+        return [
+            scheme_from_spec(
+                spec,
+                epsilon=epsilon,
+                epsilon_min=self.epsilon_min,
+                default_mechanism=self.default_mechanism,
+            )
+            for spec in self.specs
         ]
 
 
@@ -83,6 +126,24 @@ class FixedAttack:
 
     def __call__(self, point: Mapping) -> Attack | None:
         return self.attack
+
+
+@dataclass(frozen=True)
+class AttackLookup:
+    """Serve pre-built attacks keyed by the point's attack label."""
+
+    attacks: Mapping[str, Attack | None]
+    attack_key: str = "attack"
+
+    def __call__(self, point: Mapping) -> Attack | None:
+        label = point[self.attack_key]
+        try:
+            return self.attacks[label]
+        except KeyError:
+            raise KeyError(
+                f"unknown attack label {label!r}; available: "
+                f"{', '.join(map(str, self.attacks))}"
+            ) from None
 
 
 @dataclass(frozen=True)
@@ -117,10 +178,13 @@ class PointKey:
 
 
 __all__ = [
+    "DEFAULT_MECHANISM",
     "SchemesByName",
     "FixedEpsilonSchemes",
+    "SchemesFromSpecs",
     "PoisonRangeAttack",
     "FixedAttack",
+    "AttackLookup",
     "DatasetLookup",
     "FixedDataset",
     "PointKey",

@@ -77,6 +77,11 @@ class ExperimentSpec:
         generator.
     description:
         Free-form provenance recorded in run artifacts.
+    fingerprint_extra:
+        Extra identity merged into :meth:`fingerprint` — for builders whose
+        configuration is not visible in the points/schemes (e.g. the scenario
+        layer digests its whole document here so a resumed artifact can never
+        serve records from an edited scenario file).
     """
 
     name: str
@@ -94,6 +99,7 @@ class ExperimentSpec:
     batched: bool = False
     seed: int | None = None
     description: str = ""
+    fingerprint_extra: Mapping[str, Any] | None = None
 
     def __post_init__(self) -> None:
         self.points = tuple(dict(point) for point in self.points)
@@ -211,7 +217,7 @@ class ExperimentSpec:
             if self.is_point_granular()
             else [scheme.name for scheme in self.schemes_for(self.points[0])]
         )
-        return {
+        fingerprint = {
             "name": self.name,
             "n_points": len(self.points),
             "points_digest": points_digest,
@@ -222,6 +228,9 @@ class ExperimentSpec:
             "batched": bool(self.batched),
             "granularity": "point" if self.is_point_granular() else "scheme",
         }
+        if self.fingerprint_extra:
+            fingerprint.update(self.fingerprint_extra)
+        return fingerprint
 
 
 __all__ = ["ExperimentSpec", "PointSpec", "Unit"]

@@ -22,6 +22,7 @@ from repro.experiments.fig8 import build_fig8_mse_spec, run_fig8, format_fig8
 from repro.experiments.fig9 import run_fig9_defense_comparison, format_fig9_defense_comparison
 from repro.experiments.fig9_freq import run_fig9_frequency, format_fig9_frequency
 from repro.experiments.fig10 import build_fig10_spec, run_fig10, format_fig10
+from repro.experiments.matrix import build_matrix_scenario, run_matrix, format_matrix
 
 __all__ = [
     "build_fig6_spec",
@@ -49,4 +50,7 @@ __all__ = [
     "format_fig9_frequency",
     "run_fig10",
     "format_fig10",
+    "build_matrix_scenario",
+    "run_matrix",
+    "format_matrix",
 ]

@@ -14,9 +14,11 @@ from typing import Tuple
 import numpy as np
 
 from repro.ldp.base import NumericalMechanism
+from repro.registry import MECHANISMS
 from repro.utils.rng import RngLike, ensure_rng
 
 
+@MECHANISMS.register("duchi", kind="numerical")
 class DuchiMechanism(NumericalMechanism):
     """Duchi's binary mechanism over ``[-1, 1]``."""
 

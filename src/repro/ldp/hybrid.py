@@ -21,12 +21,14 @@ import numpy as np
 from repro.ldp.base import NumericalMechanism
 from repro.ldp.duchi import DuchiMechanism
 from repro.ldp.piecewise import PiecewiseMechanism
+from repro.registry import MECHANISMS
 from repro.utils.rng import RngLike, ensure_rng
 
 #: threshold above which mixing in PM reduces worst-case variance
 EPSILON_STAR = 0.61
 
 
+@MECHANISMS.register("hybrid", kind="numerical")
 class HybridMechanism(NumericalMechanism):
     """Hybrid of :class:`PiecewiseMechanism` and :class:`DuchiMechanism`."""
 

@@ -18,9 +18,11 @@ import math
 import numpy as np
 
 from repro.ldp.base import CategoricalMechanism, MechanismError
+from repro.registry import MECHANISMS
 from repro.utils.rng import RngLike, ensure_rng
 
 
+@MECHANISMS.register("krr", aliases=("k-rr",), kind="categorical")
 class KRandomizedResponse(CategoricalMechanism):
     """k-RR mechanism over categories ``0 .. k-1``."""
 

@@ -13,9 +13,11 @@ from typing import Tuple
 import numpy as np
 
 from repro.ldp.base import NumericalMechanism
+from repro.registry import MECHANISMS
 from repro.utils.rng import RngLike, ensure_rng
 
 
+@MECHANISMS.register("laplace", kind="numerical")
 class LaplaceMechanism(NumericalMechanism):
     """Laplace perturbation of values in ``[-1, 1]`` with sensitivity 2."""
 

@@ -19,6 +19,7 @@ import math
 import numpy as np
 
 from repro.ldp.base import CategoricalMechanism, MechanismError
+from repro.registry import MECHANISMS
 from repro.utils.rng import RngLike, ensure_rng
 
 #: large odd multipliers for integer hash mixing (splitmix-style)
@@ -35,6 +36,7 @@ def _hash_categories(categories: np.ndarray, seeds: np.ndarray, domain: int) -> 
     return (x % np.uint64(domain)).astype(np.int64)
 
 
+@MECHANISMS.register("olh", kind="categorical")
 class OptimizedLocalHashing(CategoricalMechanism):
     """OLH mechanism over categories ``0 .. k-1``."""
 
@@ -71,12 +73,14 @@ class OptimizedLocalHashing(CategoricalMechanism):
             raise MechanismError("cannot estimate frequencies from zero reports")
         seeds = reports[:, 0].astype(np.uint64)
         observed = reports[:, 1].astype(np.int64)
-        support = np.zeros(self.n_categories, dtype=float)
-        for category in range(self.n_categories):
-            hashed = _hash_categories(
-                np.full(n, category, dtype=np.int64), seeds, self.g
-            )
-            support[category] = float(np.count_nonzero(hashed == observed))
+        # one broadcast over the (category, user) grid: row j holds every
+        # user's hash of candidate category j, so support counting is a
+        # single vectorised comparison instead of a per-category pass
+        categories = np.arange(self.n_categories, dtype=np.int64)[:, np.newaxis]
+        hashed = _hash_categories(categories, seeds[np.newaxis, :], self.g)
+        support = np.count_nonzero(hashed == observed[np.newaxis, :], axis=1).astype(
+            float
+        )
         support /= n
         return (support - self.q) / (self.p - self.q)
 

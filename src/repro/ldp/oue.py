@@ -17,9 +17,11 @@ import math
 import numpy as np
 
 from repro.ldp.base import CategoricalMechanism, MechanismError
+from repro.registry import MECHANISMS
 from repro.utils.rng import RngLike, ensure_rng
 
 
+@MECHANISMS.register("oue", kind="categorical")
 class OptimizedUnaryEncoding(CategoricalMechanism):
     """OUE mechanism over categories ``0 .. k-1``."""
 

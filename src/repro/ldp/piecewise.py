@@ -34,9 +34,11 @@ from typing import Tuple
 import numpy as np
 
 from repro.ldp.base import NumericalMechanism
+from repro.registry import MECHANISMS
 from repro.utils.rng import RngLike, ensure_rng
 
 
+@MECHANISMS.register("piecewise", aliases=("pm",), kind="numerical")
 class PiecewiseMechanism(NumericalMechanism):
     """Piecewise Mechanism for numerical values in ``[-1, 1]``."""
 

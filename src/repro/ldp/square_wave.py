@@ -26,12 +26,14 @@ from typing import Tuple
 import numpy as np
 
 from repro.ldp.base import NumericalMechanism
+from repro.registry import MECHANISMS
 from repro.utils.discretization import BucketGrid
 from repro.utils.histogram import histogram_mean, normalize_histogram
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.transform_cache import cached_matrix, mechanism_cache_key
 
 
+@MECHANISMS.register("square-wave", aliases=("sw", "square_wave"), kind="numerical")
 class SquareWaveMechanism(NumericalMechanism):
     """Square Wave mechanism over the input domain ``[0, 1]``."""
 

@@ -1,0 +1,219 @@
+"""Named-component registries: the scenario layer's lookup tables.
+
+Every pluggable piece of the reproduction — LDP mechanisms, Byzantine
+attacks, defences, estimation schemes, datasets — registers itself here under
+a stable, case-insensitive name.  The scenario layer (:mod:`repro.scenario`),
+the ``python -m repro`` CLI and the registry-driven factories in
+:mod:`repro.engine.factories` construct components exclusively through these
+tables, so a new scheme/attack/defence combination is a config edit, not a
+source edit.
+
+Registration happens at import time of the component modules::
+
+    from repro.registry import DEFENSES
+
+    @DEFENSES.register("Trimming")
+    class TrimmingDefense(Defense):
+        ...
+
+Lookups (``get`` / ``create`` / ``names`` / ``in``) lazily import every
+component module first (:func:`load_components`), so callers never see a
+half-populated table just because they imported :mod:`repro.registry` alone.
+This module deliberately imports nothing from the rest of the package at
+module level — it is a leaf every component module can depend on.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, Mapping, Tuple
+
+#: modules whose import populates the registries (imported lazily on first
+#: lookup; order is import-dependency friendly but otherwise arbitrary)
+_COMPONENT_MODULES = (
+    "repro.ldp",
+    "repro.attacks",
+    "repro.defenses",
+    "repro.datasets.registry",
+    "repro.simulation.schemes",
+)
+
+_components_loaded = False
+_components_loading = False
+
+
+def load_components() -> None:
+    """Import every component module so all registries are fully populated.
+
+    Idempotent; called automatically by every registry lookup.  A separate
+    in-progress guard keeps a lookup made during component import (which
+    would re-enter this function) from recursing, while a failed import
+    leaves the loaded flag unset so the next lookup retries and re-raises
+    instead of silently serving a half-populated table.
+    """
+    global _components_loaded, _components_loading
+    if _components_loaded or _components_loading:
+        return
+    _components_loading = True
+    try:
+        for module in _COMPONENT_MODULES:
+            importlib.import_module(module)
+        _components_loaded = True
+    finally:
+        _components_loading = False
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One registered component.
+
+    Attributes
+    ----------
+    name:
+        Display name as registered (e.g. ``"DAP-EMF*"``); the lookup key is
+        its lower-cased form.
+    factory:
+        The class or callable that builds the component.
+    aliases:
+        Additional accepted (case-insensitive) names.
+    defaults:
+        Keyword defaults merged *under* caller kwargs by :meth:`Registry.create`.
+    metadata:
+        Free-form tags (e.g. ``kind="numerical"`` for mechanisms).
+    """
+
+    name: str
+    factory: Callable[..., Any]
+    aliases: Tuple[str, ...] = ()
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+
+class Registry:
+    """A case-insensitive name -> factory table with aliases and defaults."""
+
+    def __init__(self, kind: str) -> None:
+        #: singular component label used in error messages (e.g. ``"attack"``)
+        self.kind = kind
+        self._entries: Dict[str, RegistryEntry] = {}
+        self._index: Dict[str, str] = {}  # any accepted key -> canonical key
+
+    @staticmethod
+    def canonical(name: str) -> str:
+        """The lookup key for a name."""
+        return name.strip().lower()
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        *,
+        aliases: Tuple[str, ...] = (),
+        defaults: Mapping[str, Any] | None = None,
+        **metadata: Any,
+    ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+        """Decorator registering a factory under ``name`` (and ``aliases``)."""
+
+        def decorator(factory: Callable[..., Any]) -> Callable[..., Any]:
+            entry = RegistryEntry(
+                name=name,
+                factory=factory,
+                aliases=tuple(aliases),
+                defaults=dict(defaults or {}),
+                metadata=dict(metadata),
+            )
+            key = self.canonical(name)
+            for accepted in (key, *(self.canonical(alias) for alias in aliases)):
+                claimed = self._index.get(accepted)
+                if claimed is not None and self._entries[claimed].factory is not factory:
+                    raise ValueError(
+                        f"{self.kind} name {accepted!r} is already registered "
+                        f"to {self._entries[claimed].name!r}"
+                    )
+                self._index[accepted] = key
+            self._entries[key] = entry
+            return factory
+
+        return decorator
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def entry(self, name: str) -> RegistryEntry:
+        """The full entry for ``name``; ``KeyError`` lists registered names."""
+        load_components()
+        key = self._index.get(self.canonical(name))
+        if key is None:
+            raise KeyError(
+                f"unknown {self.kind} {name!r}; registered {self.kind}s: "
+                f"{', '.join(self.names())}"
+            )
+        return self._entries[key]
+
+    def get(self, name: str) -> Callable[..., Any]:
+        """The factory registered under ``name``."""
+        return self.entry(name).factory
+
+    def create(self, name: str, **kwargs: Any) -> Any:
+        """Build the component, merging registered defaults under ``kwargs``."""
+        entry = self.entry(name)
+        return entry.factory(**{**entry.defaults, **kwargs})
+
+    def names(self) -> Tuple[str, ...]:
+        """Sorted canonical (lower-case) names, aliases excluded."""
+        load_components()
+        return tuple(sorted(self._entries))
+
+    def entries(self) -> Tuple[RegistryEntry, ...]:
+        """All entries in canonical-name order (for listings)."""
+        load_components()
+        return tuple(self._entries[key] for key in sorted(self._entries))
+
+    def __contains__(self, name: object) -> bool:
+        load_components()
+        return isinstance(name, str) and self.canonical(name) in self._index
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        load_components()
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Registry(kind={self.kind!r}, n={len(self._entries)})"
+
+
+#: LDP perturbation mechanisms (``kind`` metadata: "numerical"/"categorical")
+MECHANISMS = Registry("mechanism")
+#: Byzantine attack strategies
+ATTACKS = Registry("attack")
+#: mean-estimation defences (each also usable as a single-round scheme)
+DEFENSES = Registry("defense")
+#: estimation schemes that are more than one defence round (DAP, Baseline)
+SCHEMES = Registry("scheme")
+#: evaluation datasets
+DATASETS = Registry("dataset")
+
+ALL_REGISTRIES: Mapping[str, Registry] = {
+    "mechanisms": MECHANISMS,
+    "attacks": ATTACKS,
+    "defenses": DEFENSES,
+    "schemes": SCHEMES,
+    "datasets": DATASETS,
+}
+
+__all__ = [
+    "Registry",
+    "RegistryEntry",
+    "load_components",
+    "MECHANISMS",
+    "ATTACKS",
+    "DEFENSES",
+    "SCHEMES",
+    "DATASETS",
+    "ALL_REGISTRIES",
+]

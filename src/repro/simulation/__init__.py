@@ -19,6 +19,8 @@ from repro.simulation.schemes import (
     SingleRoundScheme,
     BaselineProtocolScheme,
     make_scheme,
+    scheme_from_spec,
+    resolve_mechanism,
     PAPER_SCHEMES,
 )
 from repro.simulation.runner import (
@@ -40,6 +42,8 @@ __all__ = [
     "SingleRoundScheme",
     "BaselineProtocolScheme",
     "make_scheme",
+    "scheme_from_spec",
+    "resolve_mechanism",
     "PAPER_SCHEMES",
     "TrialResult",
     "run_trials",

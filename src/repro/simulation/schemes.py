@@ -9,7 +9,8 @@ Ostrich, Trimming, the k-means defence, and any other defence interchangeably
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, List, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, List, Mapping, Sequence
 
 import numpy as np
 
@@ -17,13 +18,9 @@ from repro.attacks.base import Attack, NoAttack
 from repro.core.baseline_protocol import BaselineProtocol
 from repro.core.dap import DAPConfig, DAPProtocol
 from repro.defenses.base import Defense
-from repro.defenses.boxplot import BoxplotDefense
-from repro.defenses.isolation_forest import IsolationForestDefense
-from repro.defenses.kmeans import KMeansDefense
-from repro.defenses.ostrich import OstrichDefense
-from repro.defenses.trimming import TrimmingDefense
 from repro.ldp.base import NumericalMechanism
 from repro.ldp.piecewise import PiecewiseMechanism
+from repro.registry import DEFENSES, MECHANISMS, SCHEMES
 from repro.simulation.population import Population
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 
@@ -193,74 +190,191 @@ class BaselineProtocolScheme(Scheme):
 PAPER_SCHEMES = ("DAP-EMF", "DAP-EMF*", "DAP-CEMF*", "Ostrich", "Trimming")
 
 
+# ----------------------------------------------------------------------
+# registry-backed construction
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _DAPBuilder:
+    """Registered builder for one DAP variant (picklable, unlike a closure)."""
+
+    estimator: str
+    display: str
+
+    def __call__(
+        self,
+        epsilon: float,
+        epsilon_min: float = 1.0 / 16.0,
+        mechanism_factory: MechanismFactory = PiecewiseMechanism,
+        **kwargs,
+    ) -> Scheme:
+        config = DAPConfig(
+            epsilon=epsilon,
+            epsilon_min=epsilon_min,
+            estimator=self.estimator,
+            mechanism_factory=mechanism_factory,
+            **kwargs,
+        )
+        return DAPScheme(config, name=self.display)
+
+
+SCHEMES.register("DAP-EMF")(_DAPBuilder("emf", "DAP-EMF"))
+SCHEMES.register("DAP-EMF*")(_DAPBuilder("emf_star", "DAP-EMF*"))
+SCHEMES.register("DAP-CEMF*")(_DAPBuilder("cemf_star", "DAP-CEMF*"))
+
+
+@SCHEMES.register("Baseline")
+def _build_baseline(
+    epsilon: float,
+    epsilon_min: float = 1.0 / 16.0,
+    mechanism_factory: MechanismFactory = PiecewiseMechanism,
+    **kwargs,
+) -> Scheme:
+    """The Section IV two-budget baseline protocol (``epsilon_min`` unused)."""
+    return BaselineProtocolScheme(epsilon, mechanism_factory=mechanism_factory, **kwargs)
+
+
+def resolve_mechanism(mechanism: str | MechanismFactory) -> MechanismFactory:
+    """Resolve a mechanism given by registered name or as a factory/class.
+
+    Only numerical mechanisms can back a mean-estimation scheme; naming a
+    categorical frequency oracle (k-RR, OUE, OLH) is rejected explicitly.
+    """
+    if isinstance(mechanism, str):
+        entry = MECHANISMS.entry(mechanism)
+        if entry.metadata.get("kind") == "categorical":
+            raise ValueError(
+                f"mechanism {mechanism!r} is a categorical frequency oracle; "
+                f"mean-estimation schemes need a numerical mechanism"
+            )
+        return entry.factory
+    if callable(mechanism):
+        return mechanism
+    raise TypeError(
+        f"mechanism must be a registered name or a factory, got {mechanism!r}"
+    )
+
+
+def _single_round_from_defense(
+    name: str,
+    params: Mapping[str, Any],
+    epsilon: float,
+    mechanism_factory: MechanismFactory,
+) -> Scheme:
+    """Wrap a registered defence as a full-budget single-round scheme."""
+    entry = DEFENSES.entry(name)
+    return SingleRoundScheme(
+        DEFENSES.create(name, **params), epsilon, mechanism_factory, name=entry.name
+    )
+
+
 def make_scheme(
     name: str,
     epsilon: float,
     epsilon_min: float = 1.0 / 16.0,
-    mechanism_factory: MechanismFactory = PiecewiseMechanism,
+    mechanism_factory: str | MechanismFactory = PiecewiseMechanism,
     label: str | None = None,
     **kwargs,
 ) -> Scheme:
-    """Instantiate a scheme by its paper name.
+    """Instantiate a scheme by its registered (case-insensitive) name.
 
-    Supported names (case-insensitive): ``DAP-EMF``, ``DAP-EMF*``,
-    ``DAP-CEMF*``, ``Ostrich``, ``Trimming``, ``K-means``, ``Boxplot``,
-    ``IsolationForest``, ``Baseline``.  Extra keyword arguments are forwarded
-    to the underlying constructor (e.g. ``sampling_rate`` for ``K-means``);
+    Every name in the scheme registry (``DAP-EMF``, ``DAP-EMF*``,
+    ``DAP-CEMF*``, ``Baseline``) is accepted, and so is every registered
+    defence (``Ostrich``, ``Trimming``, ``K-means``, ``Boxplot``,
+    ``IsolationForest``), which is wrapped in a full-budget
+    :class:`SingleRoundScheme`.  Extra keyword arguments are forwarded to the
+    underlying constructor (e.g. ``sampling_rate`` for ``K-means``);
+    ``mechanism_factory`` may be a registered mechanism name or a factory;
     ``label`` overrides the display name (useful when the same scheme appears
     with several parameterisations, e.g. ``K-means(beta=0.3)``).
+
+    Raises
+    ------
+    KeyError
+        If the name is neither a registered scheme nor a registered defence;
+        the message lists every available name.
     """
-    scheme = _make_scheme(name, epsilon, epsilon_min, mechanism_factory, **kwargs)
+    mechanism_factory = resolve_mechanism(mechanism_factory)
+    if name in SCHEMES:
+        scheme = SCHEMES.create(
+            name,
+            epsilon=epsilon,
+            epsilon_min=epsilon_min,
+            mechanism_factory=mechanism_factory,
+            **kwargs,
+        )
+    elif name in DEFENSES:
+        scheme = _single_round_from_defense(name, kwargs, epsilon, mechanism_factory)
+    else:
+        raise KeyError(
+            f"unknown scheme {name!r}; registered schemes: "
+            f"{', '.join(SCHEMES.names())}; defenses usable as single-round "
+            f"schemes: {', '.join(DEFENSES.names())}"
+        )
     if label is not None:
         scheme.name = label
     return scheme
 
 
-def _make_scheme(
-    name: str,
+#: keys accepted in a declarative scheme spec mapping
+SCHEME_SPEC_KEYS = ("name", "defense", "mechanism", "params", "label")
+
+
+def scheme_from_spec(
+    spec: str | Mapping[str, Any],
     epsilon: float,
-    epsilon_min: float,
-    mechanism_factory: MechanismFactory,
-    **kwargs,
+    epsilon_min: float = 1.0 / 16.0,
+    default_mechanism: str | MechanismFactory = PiecewiseMechanism,
 ) -> Scheme:
-    key = name.strip().lower()
-    dap_estimators: Dict[str, str] = {
-        "dap-emf": "emf",
-        "dap-emf*": "emf_star",
-        "dap-cemf*": "cemf_star",
-    }
-    if key in dap_estimators:
-        config = DAPConfig(
-            epsilon=epsilon,
-            epsilon_min=epsilon_min,
-            estimator=dap_estimators[key],
-            mechanism_factory=mechanism_factory,
-            **kwargs,
+    """Construct a scheme from a declarative ``(mechanism, defense, params)`` spec.
+
+    ``spec`` is either a registered scheme/defence name, or a mapping with the
+    keys of :data:`SCHEME_SPEC_KEYS`:
+
+    * ``name`` — a registered scheme or defence name, **or**
+    * ``defense`` — a registered defence name, wrapped as a single-round
+      scheme (exactly one of ``name`` / ``defense`` must be given);
+    * ``mechanism`` — registered numerical mechanism name (default
+      ``default_mechanism``);
+    * ``params`` — keyword arguments for the scheme / defence constructor;
+    * ``label`` — display-name override.
+
+    This is the construction path behind scenario files and the cross-grid
+    drivers: components are referenced purely by registered name, and unknown
+    names raise ``KeyError`` listing what is available.
+    """
+    if isinstance(spec, str):
+        spec = {"name": spec}
+    elif isinstance(spec, Mapping):
+        spec = dict(spec)
+    else:
+        raise TypeError(f"scheme spec must be a name or a mapping, got {spec!r}")
+    unknown = sorted(set(spec) - set(SCHEME_SPEC_KEYS))
+    if unknown:
+        raise ValueError(
+            f"unknown scheme-spec keys {unknown}; allowed: {', '.join(SCHEME_SPEC_KEYS)}"
         )
-        return DAPScheme(config, name=name)
-    if key == "ostrich":
-        return SingleRoundScheme(
-            OstrichDefense(**kwargs), epsilon, mechanism_factory, name=name
+    name = spec.get("name")
+    defense = spec.get("defense")
+    if (name is None) == (defense is None):
+        raise ValueError(
+            f"scheme spec must give exactly one of 'name' or 'defense', got {spec!r}"
         )
-    if key == "trimming":
-        return SingleRoundScheme(
-            TrimmingDefense(**kwargs), epsilon, mechanism_factory, name=name
-        )
-    if key in ("k-means", "kmeans"):
-        return SingleRoundScheme(
-            KMeansDefense(**kwargs), epsilon, mechanism_factory, name=name
-        )
-    if key == "boxplot":
-        return SingleRoundScheme(
-            BoxplotDefense(**kwargs), epsilon, mechanism_factory, name=name
-        )
-    if key in ("isolationforest", "isolation-forest"):
-        return SingleRoundScheme(
-            IsolationForestDefense(**kwargs), epsilon, mechanism_factory, name=name
-        )
-    if key == "baseline":
-        return BaselineProtocolScheme(epsilon, mechanism_factory=mechanism_factory, **kwargs)
-    raise KeyError(f"unknown scheme {name!r}")
+    mechanism_factory = resolve_mechanism(spec.get("mechanism", default_mechanism))
+    params = dict(spec.get("params", {}))
+    label = spec.get("label")
+    if defense is not None:
+        scheme = _single_round_from_defense(defense, params, epsilon, mechanism_factory)
+        if label is not None:
+            scheme.name = label
+        return scheme
+    return make_scheme(
+        name,
+        epsilon=epsilon,
+        epsilon_min=epsilon_min,
+        mechanism_factory=mechanism_factory,
+        label=label,
+        **params,
+    )
 
 
 __all__ = [
@@ -269,8 +383,8 @@ __all__ = [
     "SingleRoundScheme",
     "BaselineProtocolScheme",
     "make_scheme",
+    "scheme_from_spec",
+    "resolve_mechanism",
+    "SCHEME_SPEC_KEYS",
     "PAPER_SCHEMES",
 ]
-
-# keep the private dispatcher out of star-imports but documented for readers
-_make_scheme.__doc__ = "Internal dispatcher behind :func:`make_scheme`."

@@ -1,0 +1,149 @@
+"""End-to-end tests for the ``python -m repro`` CLI."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.engine import load_run
+from repro.scenario import ScenarioSpec, run_scenario
+
+TINY_SCENARIO = {
+    "name": "tiny",
+    "population": {"n_users": 500, "gamma": 0.25},
+    "trials": 2,
+    "seed": 3,
+    "epsilons": [0.5, 1.0],
+    "datasets": ["Uniform"],
+    "attacks": [
+        {"name": "bba", "poison_range": "[C/2,C]", "label": "BBA"},
+        "ima",
+    ],
+    "schemes": ["Ostrich", "Trimming"],
+}
+
+
+def run_cli(*args: str, cwd=None):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep * bool(env.get("PYTHONPATH")) + env.get(
+        "PYTHONPATH", ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env=env,
+        timeout=300,
+    )
+
+
+@pytest.fixture
+def scenario_file(tmp_path):
+    path = tmp_path / "tiny.json"
+    path.write_text(json.dumps(TINY_SCENARIO))
+    return path
+
+
+class TestRun:
+    def test_run_matches_programmatic_bit_for_bit(self, scenario_file, tmp_path):
+        store = tmp_path / "artifact.json"
+        result = run_cli("run", str(scenario_file), "--store", str(store))
+        assert result.returncode == 0, result.stderr
+        assert "8 records" in result.stdout
+        assert store.exists()
+
+        programmatic = run_scenario(ScenarioSpec.from_dict(TINY_SCENARIO))
+        stored = load_run(store).records
+        assert [(r.scheme, r.mse, r.bias) for r in stored] == [
+            (r.scheme, r.mse, r.bias) for r in programmatic
+        ]
+
+    def test_run_parallel_matches_serial(self, scenario_file, tmp_path):
+        serial, parallel = tmp_path / "serial.json", tmp_path / "parallel.json"
+        assert run_cli("run", str(scenario_file), "--store", str(serial)).returncode == 0
+        assert (
+            run_cli(
+                "run", str(scenario_file), "--store", str(parallel), "--workers", "2"
+            ).returncode
+            == 0
+        )
+        a, b = json.loads(serial.read_text()), json.loads(parallel.read_text())
+        assert a["columns"] == b["columns"]
+
+    def test_run_default_store_under_runs(self, scenario_file, tmp_path):
+        result = run_cli("run", str(scenario_file), "--quiet", cwd=tmp_path)
+        assert result.returncode == 0, result.stderr
+        assert (tmp_path / "runs" / "tiny.json").exists()
+
+    def test_unknown_component_fails_cleanly(self, tmp_path):
+        bad = dict(TINY_SCENARIO, schemes=["NotAScheme"])
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(bad))
+        result = run_cli("run", str(path))
+        assert result.returncode == 1
+        assert "unknown scheme" in result.stderr
+
+    def test_missing_scenario_file_names_the_file(self, tmp_path):
+        result = run_cli("run", str(tmp_path / "nope.json"))
+        assert result.returncode == 1
+        assert "nope.json" in result.stderr  # not a bare errno
+
+    def test_invalid_document_fails_cleanly(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(dict(TINY_SCENARIO, bogus=1)))
+        result = run_cli("run", str(path))
+        assert result.returncode == 1
+        assert "unknown scenario keys" in result.stderr
+
+
+class TestResume:
+    def test_resume_requires_artifact(self, scenario_file, tmp_path):
+        result = run_cli(
+            "resume", str(scenario_file), "--store", str(tmp_path / "missing.json")
+        )
+        assert result.returncode == 1
+        assert "no run artifact" in result.stderr
+
+    def test_resume_reuses_completed_run(self, scenario_file, tmp_path):
+        store = tmp_path / "artifact.json"
+        assert run_cli("run", str(scenario_file), "--store", str(store)).returncode == 0
+        before = json.loads(store.read_text())
+        result = run_cli("resume", str(scenario_file), "--store", str(store), "--quiet")
+        assert result.returncode == 0, result.stderr
+        assert json.loads(store.read_text())["columns"] == before["columns"]
+
+
+class TestListComponents:
+    def test_lists_every_registry_group(self):
+        result = run_cli("list-components")
+        assert result.returncode == 0, result.stderr
+        for token in (
+            "mechanisms:",
+            "attacks:",
+            "defenses:",
+            "schemes:",
+            "datasets:",
+            "piecewise",
+            "bba",
+            "Trimming",
+            "DAP-CEMF*",
+            "Taxi",
+        ):
+            assert token in result.stdout, token
+
+
+class TestExampleScenario:
+    def test_shipped_example_is_valid(self):
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        scenario = ScenarioSpec.from_file(
+            os.path.join(root, "examples", "scenario_matrix.json")
+        )
+        spec = scenario.to_experiment_spec()
+        assert len(spec.points) == 9  # 3 attacks x 3 epsilons
+        assert len(spec.schemes_for(spec.points[0])) == 4

@@ -113,6 +113,29 @@ class TestOLH:
         with pytest.raises(MechanismError):
             OptimizedLocalHashing(1.0, 5).estimate_frequencies(np.zeros((10, 3)))
 
+    @pytest.mark.parametrize("epsilon,k", [(0.5, 3), (1.0, 8), (3.0, 16)])
+    def test_broadcast_support_matches_per_category_loop(self, epsilon, k):
+        """The vectorised support counting equals the legacy per-category pass."""
+        from repro.ldp.olh import _hash_categories
+
+        rng = np.random.default_rng(2024)
+        mech = OptimizedLocalHashing(epsilon, k)
+        categories = rng.integers(0, k, 4_000)
+        reports = mech.perturb(categories, rng)
+        estimate = mech.estimate_frequencies(reports)
+
+        seeds = reports[:, 0].astype(np.uint64)
+        observed = reports[:, 1].astype(np.int64)
+        n = reports.shape[0]
+        support = np.zeros(k, dtype=float)
+        for category in range(k):
+            hashed = _hash_categories(
+                np.full(n, category, dtype=np.int64), seeds, mech.g
+            )
+            support[category] = float(np.count_nonzero(hashed == observed))
+        reference = (support / n - mech.q) / (mech.p - mech.q)
+        np.testing.assert_array_equal(estimate, reference)
+
 
 class TestPropertyBased:
     @given(

@@ -1,0 +1,173 @@
+"""Registry round-trip: every registered component constructs by name."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import Attack, NoAttack
+from repro.datasets.base import CategoricalDataset, NumericalDataset
+from repro.defenses.base import Defense
+from repro.ldp import PiecewiseMechanism
+from repro.ldp.base import CategoricalMechanism, NumericalMechanism
+from repro.registry import (
+    ALL_REGISTRIES,
+    ATTACKS,
+    DATASETS,
+    DEFENSES,
+    MECHANISMS,
+    Registry,
+    SCHEMES,
+)
+from repro.simulation.schemes import (
+    Scheme,
+    SingleRoundScheme,
+    make_scheme,
+    resolve_mechanism,
+    scheme_from_spec,
+)
+
+
+class TestRegistryCore:
+    def test_case_insensitive_and_aliases(self):
+        assert MECHANISMS.get("Piecewise") is MECHANISMS.get("pm")
+        assert DEFENSES.get("KMEANS") is DEFENSES.get("K-means")
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(KeyError, match="registered defenses: .*trimming"):
+            DEFENSES.get("nope")
+        with pytest.raises(KeyError, match="registered attacks"):
+            ATTACKS.create("nope")
+
+    def test_duplicate_registration_rejected(self):
+        registry = Registry("widget")
+        registry.register("a", aliases=("b",))(object)
+
+        def other():  # pragma: no cover - never called
+            pass
+
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("b")(other)
+
+    def test_defaults_merge_under_kwargs(self):
+        attack = ATTACKS.create("evasion")
+        assert attack.evasive_fraction == 0.2
+        attack = ATTACKS.create("evasion", evasive_fraction=0.4)
+        assert attack.evasive_fraction == 0.4
+
+    def test_failed_component_load_retries(self, monkeypatch):
+        """A failing component import must re-raise on every lookup, not latch."""
+        import repro.registry as registry_module
+
+        monkeypatch.setattr(registry_module, "_components_loaded", False)
+        monkeypatch.setattr(
+            registry_module, "_COMPONENT_MODULES", ("repro.no_such_module",)
+        )
+        for _ in range(2):  # the failure must not be swallowed on retry
+            with pytest.raises(ModuleNotFoundError):
+                ATTACKS.names()
+        monkeypatch.undo()
+        assert "bba" in ATTACKS.names()
+
+    def test_containment_and_listing(self):
+        assert "bba" in ATTACKS and "biased" in ATTACKS
+        assert "nope" not in ATTACKS
+        for registry in ALL_REGISTRIES.values():
+            assert len(registry) == len(registry.names()) > 0
+
+
+class TestRoundTrip:
+    """Every registered name constructs a working component."""
+
+    def test_every_mechanism_constructs_and_perturbs(self, rng):
+        for entry in MECHANISMS.entries():
+            kind = entry.metadata["kind"]
+            if kind == "categorical":
+                mechanism = MECHANISMS.create(entry.name, epsilon=1.0, n_categories=8)
+                assert isinstance(mechanism, CategoricalMechanism)
+                reports = mechanism.perturb(np.array([0, 3, 7]), rng)
+            else:
+                mechanism = MECHANISMS.create(entry.name, epsilon=1.0)
+                assert isinstance(mechanism, NumericalMechanism)
+                low, high = mechanism.input_domain
+                values = low + np.array([0.25, 0.5, 0.75]) * (high - low)
+                reports = mechanism.perturb(values, rng)
+            assert len(reports) == 3
+
+    def test_every_attack_constructs_and_poisons(self, rng, pm_1):
+        for name in ATTACKS.names():
+            attack = ATTACKS.create(name)
+            assert isinstance(attack, Attack)
+            report = attack.poison_reports(10, pm_1, 0.0, rng)
+            assert report.n == (0 if isinstance(attack, NoAttack) else 10)
+
+    def test_every_defense_constructs_and_estimates(self, rng, pm_1):
+        reports = pm_1.perturb(rng.uniform(-1, 1, size=500), rng)
+        for name in DEFENSES.names():
+            defense = DEFENSES.create(name)
+            assert isinstance(defense, Defense)
+            estimate = defense.estimate_mean(reports, pm_1, rng).estimate
+            assert np.isfinite(estimate)
+
+    def test_every_scheme_and_defense_name_makes_a_scheme(self):
+        for name in (*SCHEMES.names(), *DEFENSES.names()):
+            scheme = make_scheme(name, epsilon=1.0)
+            assert isinstance(scheme, Scheme) and scheme.name
+
+    def test_every_dataset_loads(self):
+        for name in DATASETS.names():
+            dataset = DATASETS.create(name, n_samples=200, rng=0)
+            assert isinstance(dataset, (NumericalDataset, CategoricalDataset))
+            assert len(dataset) == 200
+
+
+class TestSchemeConstruction:
+    def test_unknown_scheme_keyerror_lists_names(self):
+        with pytest.raises(KeyError, match="dap-cemf\\*.*trimming"):
+            make_scheme("not-a-scheme", epsilon=1.0)
+
+    def test_mechanism_by_name(self):
+        scheme = make_scheme("Ostrich", 1.0, mechanism_factory="square-wave")
+        assert type(scheme.mechanism).__name__ == "SquareWaveMechanism"
+
+    def test_categorical_mechanism_rejected(self):
+        with pytest.raises(ValueError, match="categorical"):
+            resolve_mechanism("olh")
+
+    def test_defense_display_name_is_canonical(self):
+        assert make_scheme("ostrich", 1.0).name == "Ostrich"
+        assert make_scheme("kmeans", 1.0).name == "K-means"
+
+    def test_scheme_from_spec_string_and_mapping(self):
+        assert scheme_from_spec("Trimming", epsilon=1.0).name == "Trimming"
+        scheme = scheme_from_spec(
+            {"defense": "trimming", "params": {"trim_fraction": 0.3},
+             "label": "Trim(0.3)"},
+            epsilon=1.0,
+        )
+        assert isinstance(scheme, SingleRoundScheme)
+        assert scheme.name == "Trim(0.3)"
+        assert scheme.defense.trim_fraction == 0.3
+
+    def test_scheme_from_spec_mechanism_name(self):
+        scheme = scheme_from_spec(
+            {"name": "DAP-EMF*", "mechanism": "piecewise"}, epsilon=1.0
+        )
+        assert scheme.config.mechanism_factory is PiecewiseMechanism
+
+    def test_scheme_from_spec_validation(self):
+        with pytest.raises(ValueError, match="exactly one of"):
+            scheme_from_spec({"name": "Ostrich", "defense": "trimming"}, epsilon=1.0)
+        with pytest.raises(ValueError, match="exactly one of"):
+            scheme_from_spec({}, epsilon=1.0)
+        with pytest.raises(ValueError, match="unknown scheme-spec keys"):
+            scheme_from_spec({"name": "Ostrich", "bogus": 1}, epsilon=1.0)
+        with pytest.raises(KeyError, match="registered defenses"):
+            scheme_from_spec({"defense": "nope"}, epsilon=1.0)
+
+    def test_registered_builders_are_picklable(self):
+        scheme = make_scheme("DAP-CEMF*", epsilon=1.0)
+        clone = pickle.loads(pickle.dumps(scheme))
+        assert clone.name == "DAP-CEMF*"
