@@ -13,6 +13,9 @@ Local Differential Privacy:
 * :mod:`repro.core` — the paper's contribution: the EMF family of
   reconstruction filters, Byzantine feature probing and the multi-group
   Differential Aggregation Protocol;
+* :mod:`repro.collect` — streaming sufficient-statistics accumulators, the
+  constant-memory collection layer behind ``DAPProtocol.collect_stream`` and
+  multi-million-user scenarios;
 * :mod:`repro.datasets` — the evaluation datasets (synthetic Beta draws and
   offline substitutes for Taxi, Retirement and COVID-19);
 * :mod:`repro.simulation` / :mod:`repro.experiments` — the experiment harness
@@ -47,10 +50,12 @@ from repro.core import (
     run_cemf_star,
     estimate_byzantine_features,
 )
+from repro.collect import GroupAccumulator, GroupStats
 from repro.ldp import PiecewiseMechanism, SquareWaveMechanism, KRandomizedResponse
 from repro.scenario import ScenarioSpec, run_scenario
+from repro.simulation.population import stream_population
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BaselineProtocol",
@@ -62,6 +67,9 @@ __all__ = [
     "run_emf_star",
     "run_cemf_star",
     "estimate_byzantine_features",
+    "GroupAccumulator",
+    "GroupStats",
+    "stream_population",
     "PiecewiseMechanism",
     "SquareWaveMechanism",
     "KRandomizedResponse",

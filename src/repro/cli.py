@@ -16,8 +16,10 @@ run unexpectedly produced no records.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
 import sys
+import time
 from typing import List, Sequence
 
 from repro.registry import ALL_REGISTRIES
@@ -36,12 +38,54 @@ def _workers(value: str) -> int | str:
         ) from None
 
 
+def _chunk_size(value: str) -> int:
+    """Parse ``--chunk-size``: a positive integer."""
+    try:
+        parsed = int(value)
+    except ValueError:
+        parsed = 0
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(
+            f"--chunk-size must be a positive integer, got {value!r}"
+        )
+    return parsed
+
+
 def _default_store(scenario: ScenarioSpec) -> str:
     return os.path.join("runs", f"{scenario.name}.json")
 
 
+class _ProgressPrinter:
+    """Throttled ``completed/total`` work-unit progress on stderr.
+
+    Prints at most every ``interval`` seconds (plus always the final unit),
+    so long streaming runs show a heartbeat without flooding short ones.
+    """
+
+    def __init__(self, name: str, interval: float = 5.0) -> None:
+        self.name = name
+        self.interval = interval
+        self._last = 0.0
+
+    def __call__(self, completed: int, total: int) -> None:
+        now = time.monotonic()
+        if completed < total and now - self._last < self.interval:
+            return
+        self._last = now
+        print(
+            f"{self.name}: {completed}/{total} work units completed",
+            file=sys.stderr,
+            flush=True,
+        )
+
+
 def _execute(args: argparse.Namespace, resume: bool, require_artifact: bool) -> int:
     scenario = ScenarioSpec.from_file(args.scenario)
+    if args.chunk_size is not None:
+        # rebuild (rather than mutate) so the spec's own validation runs on
+        # the override, and the document digest — hence the run artifact —
+        # reflects the streaming configuration
+        scenario = dataclasses.replace(scenario, chunk_size=args.chunk_size)
     store = args.store or _default_store(scenario)
     if require_artifact and not os.path.exists(store):
         print(
@@ -55,6 +99,7 @@ def _execute(args: argparse.Namespace, resume: bool, require_artifact: bool) -> 
         n_workers=args.workers,
         store_path=store,
         resume=resume,
+        progress=None if args.quiet else _ProgressPrinter(scenario.name),
     )
     if not records:
         print(f"error: scenario {scenario.name!r} produced no records", file=sys.stderr)
@@ -116,6 +161,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool size, or 'auto' for one worker per CPU (default: serial)",
     )
     run_parser.add_argument(
+        "--chunk-size",
+        type=_chunk_size,
+        default=None,
+        help="run trials through the constant-memory streaming collection "
+        "path with this report chunk size (overrides the scenario's "
+        "'chunk_size'; default: the scenario's setting, else in-memory)",
+    )
+    run_parser.add_argument(
         "--store",
         default=None,
         help="run-artifact path (default: runs/<scenario name>.json)",
@@ -135,6 +188,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     resume_parser.add_argument("scenario", help="path to a scenario JSON file")
     resume_parser.add_argument("--workers", type=_workers, default=None)
+    resume_parser.add_argument("--chunk-size", type=_chunk_size, default=None)
     resume_parser.add_argument("--store", default=None)
     resume_parser.add_argument("--quiet", action="store_true")
     resume_parser.set_defaults(func=_cmd_resume)

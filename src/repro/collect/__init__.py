@@ -1,0 +1,47 @@
+"""Streaming sufficient-statistics collection.
+
+The collector side of every protocol in this library only ever consumes
+*sufficient statistics* of the report stream — bucketized histograms for the
+EMF / EMF* / CEMF* probing machinery, exact sums and counts for the corrected
+mean, category counts for the k-RR frequency extension.  The accumulators in
+this package compute those statistics chunk by chunk, so populations far
+larger than RAM can be collected in bounded memory:
+
+* :class:`~repro.collect.accumulators.ExactSum` — chunking-invariant
+  compensated summation (the corrected mean divides a report sum, so the sum
+  must not depend on how the stream was chunked);
+* :class:`~repro.collect.accumulators.SumCount` — streaming mean;
+* :class:`~repro.collect.accumulators.HistogramAccumulator` — counts over a
+  :class:`~repro.utils.discretization.BucketGrid`;
+* :class:`~repro.collect.accumulators.CategoryCountAccumulator` — counts over
+  a categorical domain;
+* :class:`~repro.collect.accumulators.GroupAccumulator` /
+  :class:`~repro.collect.accumulators.GroupStats` — everything one DAP group
+  contributes to :meth:`repro.core.dap.DAPProtocol.aggregate_stats`.
+
+:mod:`repro.collect.streaming` holds the chunk-planning helpers shared by the
+streaming population generator, the chunked perturb/poison paths and the
+``collect_stream`` protocol entry points.
+"""
+
+from repro.collect.accumulators import (
+    CategoryCountAccumulator,
+    ExactSum,
+    GroupAccumulator,
+    GroupStats,
+    HistogramAccumulator,
+    SumCount,
+)
+from repro.collect.streaming import DEFAULT_CHUNK_SIZE, chunk_array, iter_chunks
+
+__all__ = [
+    "CategoryCountAccumulator",
+    "DEFAULT_CHUNK_SIZE",
+    "ExactSum",
+    "GroupAccumulator",
+    "GroupStats",
+    "HistogramAccumulator",
+    "SumCount",
+    "chunk_array",
+    "iter_chunks",
+]

@@ -1,0 +1,312 @@
+"""Chunked accumulators for the collector's sufficient statistics.
+
+Every accumulator follows the same contract: ``update(chunk)`` consumes one
+chunk of reports, ``merge(other)`` combines two accumulators over disjoint
+sub-streams, and the finalised statistics are independent of how the stream
+was chunked.  For integer counts (histograms, category counts) that
+invariance is trivial; for the report sum it is provided by
+:class:`ExactSum`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.utils.discretization import BucketGrid
+from repro.utils.validation import check_integer
+
+#: compress the partial list once it grows past this many entries
+_MAX_PARTIALS = 256
+
+#: internal slice length for reducing one chunk (bounds the transient
+#: Python-float list to a few MiB even when a caller adds a huge array)
+_SLICE = 1 << 20
+
+
+class ExactSum:
+    """Chunking-invariant summation of a float64 stream.
+
+    Each chunk is reduced to a two-term expansion ``(hi, lo)``: ``hi`` is the
+    correctly rounded chunk sum (``math.fsum``) and ``lo`` the correctly
+    rounded residual ``sum(chunk) - hi``, so the pair carries the exact chunk
+    sum to ~106 bits.  The pairs are kept as partials and combined with one
+    final ``fsum``, making the result the correctly rounded total up to
+    residuals of order ``2**-105`` per chunk — far below the final float64
+    rounding step, so the value does not depend on the chunking.
+    """
+
+    __slots__ = ("_partials",)
+
+    def __init__(self) -> None:
+        self._partials: List[float] = []
+
+    def add(self, values: np.ndarray) -> "ExactSum":
+        """Accumulate one chunk of values."""
+        values = np.asarray(values, dtype=float).ravel()
+        if values.size == 0:
+            return self
+        if not np.all(np.isfinite(values)):
+            raise ValueError("ExactSum requires finite values")
+        for start in range(0, values.size, _SLICE):
+            items = values[start : start + _SLICE].tolist()
+            hi = math.fsum(items)
+            items.append(-hi)
+            lo = math.fsum(items)
+            if hi != 0.0:
+                self._partials.append(hi)
+            if lo != 0.0:
+                self._partials.append(lo)
+        self._compress()
+        return self
+
+    def add_value(self, value: float) -> "ExactSum":
+        """Accumulate a single scalar."""
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError("ExactSum requires finite values")
+        if value != 0.0:
+            self._partials.append(value)
+        self._compress()
+        return self
+
+    def merge(self, other: "ExactSum") -> "ExactSum":
+        """Absorb another accumulator (covering a disjoint sub-stream)."""
+        self._partials.extend(other._partials)
+        self._compress()
+        return self
+
+    def _compress(self) -> None:
+        if len(self._partials) > _MAX_PARTIALS:
+            hi = math.fsum(self._partials)
+            lo = math.fsum(self._partials + [-hi])
+            self._partials = [p for p in (hi, lo) if p != 0.0]
+
+    @property
+    def value(self) -> float:
+        """The accumulated sum (correctly rounded)."""
+        return math.fsum(self._partials)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExactSum(value={self.value!r})"
+
+
+class SumCount:
+    """Streaming sum + count (the sufficient statistics of a mean)."""
+
+    __slots__ = ("_sum", "count")
+
+    def __init__(self) -> None:
+        self._sum = ExactSum()
+        self.count = 0
+
+    def update(self, values: np.ndarray) -> "SumCount":
+        values = np.asarray(values, dtype=float).ravel()
+        self._sum.add(values)
+        self.count += int(values.size)
+        return self
+
+    def merge(self, other: "SumCount") -> "SumCount":
+        self._sum.merge(other._sum)
+        self.count += other.count
+        return self
+
+    @property
+    def sum(self) -> float:
+        return self._sum.value
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("cannot take the mean of an empty stream")
+        return self._sum.value / self.count
+
+
+class HistogramAccumulator:
+    """Streaming histogram over a fixed :class:`BucketGrid`.
+
+    Counts are integers, so chunked accumulation is exactly equal to a
+    one-shot ``grid.counts`` over the concatenated stream.  Optionally tracks
+    the exact sum and count of the raw values (the DAP group accumulator
+    needs both).
+    """
+
+    def __init__(self, grid: BucketGrid, track_sum: bool = False) -> None:
+        self.grid = grid
+        self.counts = np.zeros(grid.n_buckets, dtype=np.int64)
+        self._sum = ExactSum() if track_sum else None
+        self.n_values = 0
+
+    def update(self, values: np.ndarray) -> "HistogramAccumulator":
+        values = np.asarray(values, dtype=float).ravel()
+        if values.size == 0:
+            return self
+        idx = self.grid.assign(values)
+        self.counts += np.bincount(idx, minlength=self.grid.n_buckets)
+        if self._sum is not None:
+            self._sum.add(values)
+        self.n_values += int(values.size)
+        return self
+
+    def merge(self, other: "HistogramAccumulator") -> "HistogramAccumulator":
+        if other.grid != self.grid:
+            raise ValueError("cannot merge histogram accumulators over different grids")
+        if (self._sum is None) != (other._sum is None):
+            raise ValueError("cannot merge accumulators with mismatched track_sum")
+        self.counts += other.counts
+        if self._sum is not None:
+            self._sum.merge(other._sum)
+        self.n_values += other.n_values
+        return self
+
+    @property
+    def sum(self) -> float:
+        if self._sum is None:
+            raise ValueError("histogram accumulator was built with track_sum=False")
+        return self._sum.value
+
+    def counts_float(self) -> np.ndarray:
+        """Counts as float64 (what the EM machinery consumes)."""
+        return self.counts.astype(float)
+
+
+class CategoryCountAccumulator:
+    """Streaming category counts for the k-RR frequency path."""
+
+    def __init__(self, n_categories: int) -> None:
+        self.n_categories = check_integer(n_categories, "n_categories", minimum=1)
+        self.counts = np.zeros(self.n_categories, dtype=np.int64)
+
+    def update(self, reports: np.ndarray) -> "CategoryCountAccumulator":
+        reports = np.asarray(reports, dtype=int).ravel()
+        if reports.size == 0:
+            return self
+        if reports.min() < 0 or reports.max() >= self.n_categories:
+            raise ValueError(
+                f"category reports must lie in [0, {self.n_categories}), got range "
+                f"[{reports.min()}, {reports.max()}]"
+            )
+        self.counts += np.bincount(reports, minlength=self.n_categories)
+        return self
+
+    def merge(self, other: "CategoryCountAccumulator") -> "CategoryCountAccumulator":
+        if other.n_categories != self.n_categories:
+            raise ValueError("cannot merge category accumulators of different arity")
+        self.counts += other.counts
+        return self
+
+    @property
+    def n_reports(self) -> int:
+        return int(self.counts.sum())
+
+    def counts_float(self) -> np.ndarray:
+        return self.counts.astype(float)
+
+
+@dataclass(frozen=True)
+class GroupStats:
+    """Sufficient statistics of one DAP group's report stream.
+
+    Everything :meth:`repro.core.dap.DAPProtocol.aggregate_stats` needs:
+    the output-grid histogram drives probing and the EMF family, the exact
+    report sum and count drive the corrected mean, and ``n_users`` is kept
+    for bookkeeping parity with :class:`~repro.core.dap.GroupCollection`.
+    """
+
+    epsilon: float
+    n_reports: int
+    report_sum: float
+    output_counts: np.ndarray
+    output_grid: BucketGrid
+    n_users: int = 0
+
+
+class GroupAccumulator:
+    """Chunked accumulator for one DAP group.
+
+    The output grid must be fixed before the stream starts; the protocol
+    derives it from the group's expected report count (known up front: the
+    grouping stage fixes group sizes and per-user report multiplicities), so
+    ``n_expected_reports`` doubles as a consistency check at finalisation.
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        output_grid: BucketGrid,
+        n_expected_reports: int | None = None,
+        n_users: int = 0,
+    ) -> None:
+        self.epsilon = float(epsilon)
+        self.n_users = int(n_users)
+        self.n_expected_reports = (
+            None
+            if n_expected_reports is None
+            else check_integer(n_expected_reports, "n_expected_reports", minimum=0)
+        )
+        self._histogram = HistogramAccumulator(output_grid, track_sum=True)
+
+    @property
+    def output_grid(self) -> BucketGrid:
+        return self._histogram.grid
+
+    @property
+    def n_reports(self) -> int:
+        return self._histogram.n_values
+
+    def update(self, reports: np.ndarray) -> "GroupAccumulator":
+        """Consume one chunk of (perturbed or poison) reports."""
+        self._histogram.update(reports)
+        return self
+
+    def update_stream(self, chunks: Iterable[np.ndarray]) -> "GroupAccumulator":
+        """Consume a whole iterable of report chunks."""
+        for chunk in chunks:
+            self.update(chunk)
+        return self
+
+    def merge(self, other: "GroupAccumulator") -> "GroupAccumulator":
+        if other.epsilon != self.epsilon:
+            raise ValueError("cannot merge group accumulators with different budgets")
+        self._histogram.merge(other._histogram)
+        self.n_users += other.n_users
+        return self
+
+    def stats(self) -> GroupStats:
+        """Finalise into :class:`GroupStats` (validates the expected count)."""
+        if (
+            self.n_expected_reports is not None
+            and self.n_reports != self.n_expected_reports
+        ):
+            raise ValueError(
+                f"group (epsilon={self.epsilon:g}) accumulated {self.n_reports} "
+                f"reports but was sized for {self.n_expected_reports}; the output "
+                f"grid would not match the aggregation-side bucket counts"
+            )
+        return GroupStats(
+            epsilon=self.epsilon,
+            n_reports=self.n_reports,
+            report_sum=self._histogram.sum,
+            output_counts=self._histogram.counts_float(),
+            output_grid=self.output_grid,
+            n_users=self.n_users,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GroupAccumulator(epsilon={self.epsilon:g}, "
+            f"n_reports={self.n_reports}, d_out={self.output_grid.n_buckets})"
+        )
+
+
+__all__ = [
+    "CategoryCountAccumulator",
+    "ExactSum",
+    "GroupAccumulator",
+    "GroupStats",
+    "HistogramAccumulator",
+    "SumCount",
+]

@@ -1,0 +1,39 @@
+"""Chunk planning helpers for streaming collection paths."""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_integer
+
+#: default report-chunk size used by the streaming paths (reports per chunk)
+DEFAULT_CHUNK_SIZE = 65_536
+
+
+def iter_chunks(n: int, chunk_size: int) -> Iterator[Tuple[int, int]]:
+    """Yield ``(start, stop)`` bounds covering ``range(n)`` in chunks.
+
+    The final chunk is short when ``n % chunk_size != 0``; nothing is yielded
+    for ``n == 0``.
+    """
+    n = check_integer(n, "n", minimum=0)
+    chunk_size = check_integer(chunk_size, "chunk_size", minimum=1)
+    for start in range(0, n, chunk_size):
+        yield start, min(n, start + chunk_size)
+
+
+def chunk_array(values: np.ndarray, chunk_size: int) -> Iterator[np.ndarray]:
+    """Yield views of ``values`` in chunks of ``chunk_size``.
+
+    Feeding the yielded chunks through any accumulator in
+    :mod:`repro.collect.accumulators` produces the same statistics as one
+    call on the full array.
+    """
+    values = np.asarray(values)
+    for start, stop in iter_chunks(values.shape[0], chunk_size):
+        yield values[start:stop]
+
+
+__all__ = ["DEFAULT_CHUNK_SIZE", "chunk_array", "iter_chunks"]

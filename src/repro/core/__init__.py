@@ -30,7 +30,11 @@ from repro.core.cemf_star import run_cemf_star, suppression_mask
 from repro.core.probing import SideProbeResult, probe_poisoned_side
 from repro.core.features import ByzantineFeatures, estimate_byzantine_features
 from repro.core.initialization import pessimistic_mean
-from repro.core.mean_estimation import corrected_mean, plain_mean
+from repro.core.mean_estimation import (
+    corrected_mean,
+    corrected_mean_from_stats,
+    plain_mean,
+)
 from repro.core.baseline_protocol import BaselineProtocol, BaselineResult
 from repro.core.aggregation import aggregation_weights, aggregate_means, worst_case_group_variance
 from repro.core.dap import DAPProtocol, DAPConfig, DAPResult, GroupCollection, GroupEstimate
@@ -51,6 +55,7 @@ __all__ = [
     "estimate_byzantine_features",
     "pessimistic_mean",
     "corrected_mean",
+    "corrected_mean_from_stats",
     "plain_mean",
     "BaselineProtocol",
     "BaselineResult",

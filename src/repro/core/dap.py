@@ -20,26 +20,38 @@ The five stages of the protocol:
 ``DAPProtocol.run`` simulates the client side and the collector side end to
 end; ``DAPProtocol.aggregate`` is the collector-only entry point that consumes
 already-collected per-group reports.
+
+The collector only ever needs *sufficient statistics* of the report stream —
+the output-grid histogram (probing + the EMF family) and the report sum and
+count (corrected mean) — so the whole pipeline also runs in bounded memory:
+``collect_stream`` consumes user values chunk by chunk into per-group
+:class:`~repro.collect.GroupAccumulator` objects, and
+``aggregate_accumulated`` / ``aggregate_stats`` run stages 3-5 on the
+accumulated statistics, bit-identical to the in-memory path on the same
+reports.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Literal, Sequence
+from typing import Callable, Iterable, List, Literal, Sequence
 
 import numpy as np
 
 from repro.attacks.base import Attack, NoAttack
+from repro.collect.accumulators import GroupAccumulator, GroupStats
+from repro.collect.streaming import DEFAULT_CHUNK_SIZE
 from repro.core.aggregation import aggregate_means, aggregation_weights
 from repro.core.cemf_star import DEFAULT_SUPPRESSION_FACTOR, run_cemf_star
 from repro.core.emf import EMFResult, run_emf
 from repro.core.emf_star import run_emf_star
 from repro.core.features import estimate_byzantine_features
-from repro.core.mean_estimation import corrected_mean
+from repro.core.mean_estimation import corrected_mean_from_stats
 from repro.core.transform import cached_transform_matrix, default_bucket_counts
 from repro.ldp.base import NumericalMechanism
 from repro.ldp.budget import dap_budget_ladder
 from repro.ldp.piecewise import PiecewiseMechanism
+from repro.utils.discretization import BucketGrid
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_integer, check_positive
 
@@ -296,24 +308,193 @@ class DAPProtocol:
         return 0.5 * (low + high)
 
     # ------------------------------------------------------------------
+    # streaming accumulators
+    # ------------------------------------------------------------------
+    def group_sizes(self, n_total: int) -> List[int]:
+        """User head-count per group for a population of ``n_total``.
+
+        Matches the (nearly) equal split of :meth:`collect`: the first
+        ``n_total % h`` groups receive one extra user.
+        """
+        n_total = check_integer(n_total, "n_total", minimum=1)
+        h = self.config.n_groups
+        base, extra = divmod(n_total, h)
+        return [base + 1 if index < extra else base for index in range(h)]
+
+    def group_output_grid(self, epsilon: float, n_reports: int) -> BucketGrid:
+        """The output-domain grid the collector uses for a group's histogram."""
+        _, d_out = self._bucket_counts(n_reports, epsilon)
+        low, high = self.mechanism_for(epsilon).output_domain
+        return BucketGrid(low, high, d_out)
+
+    def group_accumulator(
+        self, epsilon: float, n_expected_reports: int, n_users: int = 0
+    ) -> GroupAccumulator:
+        """A chunked accumulator holding one group's sufficient statistics.
+
+        The accumulator's histogram grid is sized from ``n_expected_reports``
+        (the collector knows it up front: group sizes and per-user report
+        multiplicities are fixed by the grouping stage), so feeding exactly
+        that many reports — in chunks of any size — yields statistics
+        bit-identical to an in-memory :class:`GroupCollection`.
+        """
+        grid = self.group_output_grid(epsilon, max(1, n_expected_reports))
+        return GroupAccumulator(
+            epsilon, grid, n_expected_reports=n_expected_reports, n_users=n_users
+        )
+
+    def collect_stream(
+        self,
+        value_chunks: Iterable[np.ndarray],
+        n_normal: int,
+        attack: Attack | None = None,
+        n_byzantine: int = 0,
+        rng: RngLike = None,
+        poison_chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> List[GroupAccumulator]:
+        """Streaming grouping + perturbation: constant memory in ``n_normal``.
+
+        The chunked counterpart of :meth:`collect`: normal users' values
+        arrive as an iterable of chunks (``n_normal`` must be declared up
+        front so groups can be sized), each chunk is assigned to groups,
+        perturbed and folded into per-group accumulators, and poison reports
+        are drawn in bounded chunks.  Peak memory is proportional to the
+        chunk size times the report multiplicity, never to the population.
+
+        Group head-counts are identical in distribution to :meth:`collect`'s
+        random assignment (per-chunk counts are drawn from the multivariate
+        hypergeometric law over the groups' remaining slots), but the two
+        paths consume randomness differently, so individual draws differ.
+        """
+        rng = ensure_rng(rng)
+        attack = attack or NoAttack()
+        n_normal = check_integer(n_normal, "n_normal", minimum=0)
+        n_byzantine = check_integer(n_byzantine, "n_byzantine", minimum=0)
+        n_total = n_normal + n_byzantine
+        if n_total == 0:
+            raise ValueError("at least one user is required")
+
+        ladder = self.config.budget_ladder
+        h = len(ladder)
+        sizes = np.asarray(self.group_sizes(n_total), dtype=np.int64)
+        # random user->group assignment makes each group's Byzantine
+        # head-count multivariate hypergeometric over the group slots
+        if n_byzantine:
+            byz_counts = rng.multivariate_hypergeometric(sizes, n_byzantine)
+        else:
+            byz_counts = np.zeros(h, dtype=np.int64)
+        remaining = sizes - byz_counts
+
+        accumulators = [
+            self.group_accumulator(
+                epsilon_t,
+                int(size) * self._reports_per_user(epsilon_t),
+                n_users=int(size),
+            )
+            for epsilon_t, size in zip(ladder, sizes)
+        ]
+
+        consumed = 0
+        for chunk in value_chunks:
+            chunk = np.asarray(chunk, dtype=float).ravel()
+            if chunk.size == 0:
+                continue
+            consumed += chunk.size
+            if consumed > n_normal:
+                raise ValueError(
+                    f"value stream yielded more than the declared "
+                    f"n_normal={n_normal} values"
+                )
+            counts = rng.multivariate_hypergeometric(remaining, chunk.size)
+            remaining = remaining - counts
+            assignment = np.repeat(np.arange(h), counts)
+            rng.shuffle(assignment)
+            for group_index, epsilon_t in enumerate(ladder):
+                values = chunk[assignment == group_index]
+                if not values.size:
+                    continue
+                repeats = self._reports_per_user(epsilon_t)
+                mechanism = self.mechanism_for(epsilon_t)
+                accumulators[group_index].update(
+                    mechanism.perturb(np.repeat(values, repeats), rng)
+                )
+        if consumed != n_normal:
+            raise ValueError(
+                f"value stream yielded {consumed} normal values, expected "
+                f"{n_normal}"
+            )
+
+        for group_index, epsilon_t in enumerate(ladder):
+            n_byz = int(byz_counts[group_index])
+            if not n_byz:
+                continue
+            mechanism = self.mechanism_for(epsilon_t)
+            reference = self._reference_mean(mechanism)
+            n_poison = n_byz * self._reports_per_user(epsilon_t)
+            for piece in attack.poison_report_chunks(
+                n_poison, mechanism, reference, rng, chunk_size=poison_chunk_size
+            ):
+                accumulators[group_index].update(piece)
+        return accumulators
+
+    # ------------------------------------------------------------------
     # collector side
     # ------------------------------------------------------------------
+    def group_stats(self, group: GroupCollection) -> GroupStats:
+        """Reduce an in-memory group to its sufficient statistics."""
+        accumulator = self.group_accumulator(
+            group.epsilon, group.n_reports, n_users=group.n_users
+        )
+        return accumulator.update(group.reports).stats()
+
     def aggregate(self, groups: Sequence[GroupCollection]) -> DAPResult:
-        """Probing + intra-group estimation + inter-group aggregation."""
+        """Probing + intra-group estimation + inter-group aggregation.
+
+        The in-memory entry point: each group's raw reports are reduced to
+        :class:`~repro.collect.GroupStats` (a one-chunk accumulator pass) and
+        handed to :meth:`aggregate_stats` — the collector never needs more
+        than the sufficient statistics.
+        """
         groups = [g for g in groups if g.n_reports > 0]
         if not groups:
             raise ValueError("no group contributed any reports")
+        return self.aggregate_stats([self.group_stats(group) for group in groups])
+
+    def aggregate_accumulated(
+        self, accumulators: Sequence[GroupAccumulator]
+    ) -> DAPResult:
+        """Aggregate from streaming accumulators (see :meth:`collect_stream`)."""
+        stats = [acc.stats() for acc in accumulators if acc.n_reports > 0]
+        if not stats:
+            raise ValueError("no group contributed any reports")
+        return self.aggregate_stats(stats)
+
+    def aggregate_stats(self, stats: Sequence[GroupStats]) -> DAPResult:
+        """Stages 3-5 on per-group sufficient statistics.
+
+        Bit-identical to feeding the same reports through the in-memory
+        :meth:`aggregate`: EMF and its variants already operate on the
+        output-grid histogram, and the corrected mean only needs the report
+        sum and count, so no stage ever touches raw reports.
+        """
+        stats = [s for s in stats if s.n_reports > 0]
+        if not stats:
+            raise ValueError("no group contributed any reports")
+        for group in stats:
+            self._check_stats_geometry(group)
 
         # --- stage 3: probe side and gamma in the smallest-budget group ----------
-        probe_group = min(groups, key=lambda g: g.epsilon)
-        probe_mechanism = self.mechanism_for(probe_group.epsilon)
+        probe_stats = min(stats, key=lambda s: s.epsilon)
+        probe_mechanism = self.mechanism_for(probe_stats.epsilon)
+        d_in, d_out = self._bucket_counts(probe_stats.n_reports, probe_stats.epsilon)
         features = estimate_byzantine_features(
             probe_mechanism,
-            probe_group.reports,
-            n_input_buckets=self.config.n_input_buckets,
-            n_output_buckets=self.config.n_output_buckets,
+            counts=probe_stats.output_counts,
+            n_reports=probe_stats.n_reports,
+            n_input_buckets=d_in,
+            n_output_buckets=d_out,
             reference_mean=self.config.reference_mean,
-            epsilon=probe_group.epsilon,
+            epsilon=probe_stats.epsilon,
         )
         side = features.side
         gamma_global = features.gamma_hat
@@ -326,8 +507,8 @@ class DAPProtocol:
         # cannot reuse the probe run.
         reusable = features.emf if self.config.intra_group_mean == "corrected_sum" else None
         estimates: List[GroupEstimate] = []
-        for group in groups:
-            reuse = reusable if group is probe_group else None
+        for group in stats:
+            reuse = reusable if group is probe_stats else None
             estimates.append(
                 self._estimate_group(
                     group, side=side, gamma_global=gamma_global, reuse_emf=reuse
@@ -354,9 +535,29 @@ class DAPProtocol:
             group_estimates=estimates,
         )
 
+    def _check_stats_geometry(self, stats: GroupStats) -> None:
+        """Reject statistics accumulated on a grid the collector cannot use."""
+        expected = self.group_output_grid(stats.epsilon, max(1, stats.n_reports))
+        if stats.output_grid != expected:
+            raise ValueError(
+                f"group (epsilon={stats.epsilon:g}) statistics were accumulated "
+                f"on a {stats.output_grid.n_buckets}-bucket grid over "
+                f"[{stats.output_grid.low:g}, {stats.output_grid.high:g}], but "
+                f"{stats.n_reports} reports call for {expected.n_buckets} buckets "
+                f"over [{expected.low:g}, {expected.high:g}]; build the "
+                f"accumulator via DAPProtocol.group_accumulator with the true "
+                f"expected report count"
+            )
+        if stats.output_counts.shape != (expected.n_buckets,):
+            raise ValueError(
+                f"group (epsilon={stats.epsilon:g}) has "
+                f"{stats.output_counts.shape} counts for a "
+                f"{expected.n_buckets}-bucket grid"
+            )
+
     def _estimate_group(
         self,
-        group: GroupCollection,
+        group: GroupStats,
         side: str,
         gamma_global: float,
         reuse_emf: EMFResult | None = None,
@@ -370,7 +571,7 @@ class DAPProtocol:
         identical with or without it.
         """
         mechanism = self.mechanism_for(group.epsilon)
-        d_in, d_out = self._bucket_counts(group)
+        d_in, d_out = self._bucket_counts(group.n_reports, group.epsilon)
         if reuse_emf is not None and not self._transform_matches(
             reuse_emf, d_in, d_out, side
         ):
@@ -385,7 +586,7 @@ class DAPProtocol:
                 side=side,
                 reference_mean=self.config.reference_mean,
             )
-        counts = transform.output_counts(group.reports)
+        counts = group.output_counts
 
         # the distribution route needs a sharply converged histogram, so it
         # tightens the paper's probing tolerance tau = 0.01 * e^eps
@@ -421,8 +622,9 @@ class DAPProtocol:
 
         gamma_t = reconstruction.gamma_hat
         if self.config.intra_group_mean == "corrected_sum":
-            mean_t = corrected_mean(
-                group.reports,
+            mean_t = corrected_mean_from_stats(
+                group.report_sum,
+                group.n_reports,
                 gamma_hat=gamma_t,
                 poison_mean=reconstruction.poison_mean,
                 input_domain=mechanism.input_domain,
@@ -458,8 +660,8 @@ class DAPProtocol:
             and (reference is None or transform.reference_mean == float(reference))
         )
 
-    def _bucket_counts(self, group: GroupCollection) -> tuple[int, int]:
-        d_in, d_out = default_bucket_counts(max(1, group.n_reports), group.epsilon)
+    def _bucket_counts(self, n_reports: int, epsilon: float) -> tuple[int, int]:
+        d_in, d_out = default_bucket_counts(max(1, n_reports), epsilon)
         if self.config.n_input_buckets is not None:
             d_in = self.config.n_input_buckets
         if self.config.n_output_buckets is not None:
@@ -479,6 +681,20 @@ class DAPProtocol:
         """Simulate one full DAP round (client + collector)."""
         groups = self.collect(normal_values, attack, n_byzantine, rng)
         return self.aggregate(groups)
+
+    def run_stream(
+        self,
+        value_chunks: Iterable[np.ndarray],
+        n_normal: int,
+        attack: Attack | None = None,
+        n_byzantine: int = 0,
+        rng: RngLike = None,
+    ) -> DAPResult:
+        """One full DAP round over a chunked value stream (bounded memory)."""
+        accumulators = self.collect_stream(
+            value_chunks, n_normal, attack, n_byzantine, rng=rng
+        )
+        return self.aggregate_accumulated(accumulators)
 
 
 __all__ = [

@@ -62,22 +62,39 @@ class ByzantineFeatures:
 
 def estimate_byzantine_features(
     mechanism,
-    reports: np.ndarray,
+    reports: np.ndarray | None = None,
     n_input_buckets: int | None = None,
     n_output_buckets: int | None = None,
     reference_mean: float | None = None,
     epsilon: float | None = None,
     tol: float | None = None,
+    counts: np.ndarray | None = None,
+    n_reports: int | None = None,
 ) -> ByzantineFeatures:
     """Probe the Byzantine features from one batch of reports.
 
     Bucket counts default to the paper's ``d' = floor(sqrt(N))`` and
     ``d = floor(d' (e^{eps/2}-1)/(e^{eps/2}+1))``.
+
+    The batch may be given either as raw ``reports`` or as streaming
+    sufficient statistics: output-grid ``counts`` (length
+    ``n_output_buckets``, which is then required) plus ``n_reports`` (used
+    for the default bucket formulas; defaults to ``counts.sum()``).
     """
-    reports = np.asarray(reports, dtype=float)
+    if (reports is None) == (counts is None):
+        raise ValueError("provide exactly one of `reports` or `counts`")
     epsilon = mechanism.epsilon if epsilon is None else epsilon
+    if counts is not None:
+        counts = np.asarray(counts, dtype=float)
+        if n_output_buckets is None:
+            raise ValueError("n_output_buckets is required with pre-computed counts")
+        if n_reports is None:
+            n_reports = int(counts.sum())
+    else:
+        reports = np.asarray(reports, dtype=float)
+        n_reports = reports.size
     if n_output_buckets is None or n_input_buckets is None:
-        d_in, d_out = default_bucket_counts(max(1, reports.size), epsilon)
+        d_in, d_out = default_bucket_counts(max(1, n_reports), epsilon)
         n_input_buckets = n_input_buckets or d_in
         n_output_buckets = n_output_buckets or d_out
 
@@ -89,6 +106,7 @@ def estimate_byzantine_features(
         reference_mean=reference_mean,
         epsilon=epsilon,
         tol=tol,
+        counts=counts,
     )
     emf = probe.selected
     return ByzantineFeatures(

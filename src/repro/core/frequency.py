@@ -23,10 +23,12 @@ Figure 9(c)(d) evaluates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Literal, Sequence
+from typing import Iterable, List, Literal, Sequence
 
 import numpy as np
 
+from repro.collect.accumulators import CategoryCountAccumulator
+from repro.collect.streaming import DEFAULT_CHUNK_SIZE, iter_chunks
 from repro.ldp.ems import em_reconstruct
 from repro.ldp.krr import KRandomizedResponse
 from repro.utils.rng import RngLike, ensure_rng
@@ -143,6 +145,40 @@ class FrequencyDAP:
             reports.append(poison)
         return np.concatenate(reports)
 
+    def collect_stream(
+        self,
+        category_chunks: Iterable[np.ndarray],
+        poisoned_categories: Sequence[int] = (),
+        n_byzantine: int = 0,
+        rng: RngLike = None,
+        poison_chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> CategoryCountAccumulator:
+        """Chunked collection into a category-count accumulator.
+
+        The streaming counterpart of :meth:`collect`: normal users' category
+        chunks are perturbed and counted as they arrive, and Byzantine
+        reports are drawn in bounded chunks, so memory never scales with the
+        population.  Feed the result to :meth:`estimate_from_counts`.
+        """
+        rng = ensure_rng(rng)
+        accumulator = CategoryCountAccumulator(self.n_categories)
+        for chunk in category_chunks:
+            chunk = np.asarray(chunk, dtype=int).ravel()
+            if chunk.size:
+                accumulator.update(self.mechanism.perturb(chunk, rng))
+        n_byzantine = check_integer(n_byzantine, "n_byzantine", minimum=0)
+        if n_byzantine:
+            if not poisoned_categories:
+                raise ValueError(
+                    "poisoned_categories must be provided when n_byzantine > 0"
+                )
+            targets = np.asarray(list(poisoned_categories), dtype=int)
+            for start, stop in iter_chunks(n_byzantine, poison_chunk_size):
+                accumulator.update(
+                    targets[rng.integers(0, targets.size, size=stop - start)]
+                )
+        return accumulator
+
     # ------------------------------------------------------------------
     # collector side
     # ------------------------------------------------------------------
@@ -206,6 +242,28 @@ class FrequencyDAP:
         if reports.size == 0:
             raise ValueError("cannot estimate frequencies from zero reports")
         counts = np.bincount(reports, minlength=self.n_categories).astype(float)
+        return self.estimate_from_counts(counts)
+
+    def estimate_from_counts(
+        self, counts: np.ndarray | CategoryCountAccumulator
+    ) -> FrequencyDAPResult:
+        """The collector pipeline on category counts (the sufficient statistic).
+
+        Accepts either a raw count vector or the accumulator produced by
+        :meth:`collect_stream`.  Category counts accumulated over chunks are
+        exactly the bincount of the concatenated stream, so this path is
+        bit-identical to :meth:`estimate` on the same reports.
+        """
+        if isinstance(counts, CategoryCountAccumulator):
+            counts = counts.counts_float()
+        counts = np.asarray(counts, dtype=float)
+        if counts.shape != (self.n_categories,):
+            raise ValueError(
+                f"counts must have length n_categories={self.n_categories}, "
+                f"got shape {counts.shape}"
+            )
+        if counts.sum() == 0:
+            raise ValueError("cannot estimate frequencies from zero reports")
 
         poison_set, gains = self.probe_poisoned_categories(counts)
 

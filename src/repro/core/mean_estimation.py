@@ -27,19 +27,24 @@ def plain_mean(reports: np.ndarray) -> float:
     return float(reports.mean())
 
 
-def corrected_mean(
-    reports: np.ndarray,
+def corrected_mean_from_stats(
+    report_sum: float,
+    n_reports: int,
     gamma_hat: float,
     poison_mean: float,
     input_domain: tuple[float, float] = (-1.0, 1.0),
     clip: bool = True,
 ) -> float:
-    """Equation 12/13: subtract the estimated collective poison contribution.
+    """Equation 12/13 on sufficient statistics (report sum and count).
+
+    This is the streaming form of :func:`corrected_mean`: the estimate only
+    ever depends on the report *sum* and *count*, so the raw reports never
+    need to be materialised.
 
     Parameters
     ----------
-    reports:
-        All collected reports of the batch/group being estimated.
+    report_sum, n_reports:
+        Sum and count of all reports of the batch/group being estimated.
     gamma_hat:
         Estimated fraction of poison reports in the batch.
     poison_mean:
@@ -49,10 +54,10 @@ def corrected_mean(
     clip:
         Disable to obtain the raw, unclipped corrected mean.
     """
-    reports = np.asarray(reports, dtype=float)
-    n = reports.size
-    if n == 0:
+    n = int(n_reports)
+    if n <= 0:
         raise ValueError("cannot estimate a mean from zero reports")
+    report_sum = float(report_sum)
     gamma_hat = check_fraction(gamma_hat, "gamma_hat")
 
     m_hat = gamma_hat * n
@@ -60,13 +65,38 @@ def corrected_mean(
     if denominator <= 0:
         # the probe claims (almost) everyone is Byzantine; fall back to the
         # clipped plain mean rather than dividing by zero
-        estimate = plain_mean(reports)
+        estimate = report_sum / n
     else:
-        estimate = (reports.sum() - m_hat * poison_mean) / denominator
+        estimate = (report_sum - m_hat * poison_mean) / denominator
     if clip:
         low, high = input_domain
         estimate = float(np.clip(estimate, low, high))
     return float(estimate)
 
 
-__all__ = ["plain_mean", "corrected_mean"]
+def corrected_mean(
+    reports: np.ndarray,
+    gamma_hat: float,
+    poison_mean: float,
+    input_domain: tuple[float, float] = (-1.0, 1.0),
+    clip: bool = True,
+) -> float:
+    """Equation 12/13: subtract the estimated collective poison contribution.
+
+    Array convenience wrapper around :func:`corrected_mean_from_stats`; see
+    that function for the parameter semantics.
+    """
+    reports = np.asarray(reports, dtype=float)
+    if reports.size == 0:
+        raise ValueError("cannot estimate a mean from zero reports")
+    return corrected_mean_from_stats(
+        float(reports.sum()),
+        reports.size,
+        gamma_hat,
+        poison_mean,
+        input_domain=input_domain,
+        clip=clip,
+    )
+
+
+__all__ = ["plain_mean", "corrected_mean", "corrected_mean_from_stats"]

@@ -55,13 +55,14 @@ class SideProbeResult:
 
 def probe_poisoned_side(
     mechanism,
-    reports: np.ndarray,
+    reports: np.ndarray | None,
     n_input_buckets: int,
     n_output_buckets: int,
     reference_mean: float | None = None,
     epsilon: float | None = None,
     tol: float | None = None,
     max_iter: int = DEFAULT_MAX_ITER,
+    counts: np.ndarray | None = None,
 ) -> SideProbeResult:
     """Run Algorithm 3 and return the side decision plus both EMF runs.
 
@@ -71,6 +72,7 @@ def probe_poisoned_side(
         The numerical mechanism the normal users applied (PM or SW).
     reports:
         All collected reports (normal + poison, indistinguishable).
+        Mutually exclusive with ``counts``.
     n_input_buckets, n_output_buckets:
         Grid resolutions ``d`` and ``d'``.
     reference_mean:
@@ -78,8 +80,21 @@ def probe_poisoned_side(
         the domain centre).
     epsilon, tol, max_iter:
         EM convergence controls forwarded to :func:`repro.core.emf.run_emf`.
+    counts:
+        Pre-computed output-bucket counts (length ``n_output_buckets``), e.g.
+        from a streaming :class:`~repro.collect.HistogramAccumulator`.  Both
+        side hypotheses share the same output grid, so one histogram is the
+        complete sufficient statistic of the probe.
     """
-    reports = np.asarray(reports, dtype=float)
+    if (reports is None) == (counts is None):
+        raise ValueError("provide exactly one of `reports` or `counts`")
+    if counts is not None:
+        counts = np.asarray(counts, dtype=float)
+        if counts.shape != (n_output_buckets,):
+            raise ValueError(
+                f"counts must have length n_output_buckets={n_output_buckets}, "
+                f"got shape {counts.shape}"
+            )
     epsilon = mechanism.epsilon if epsilon is None else epsilon
 
     results = {}
@@ -91,8 +106,11 @@ def probe_poisoned_side(
             side=side,
             reference_mean=reference_mean,
         )
+        if counts is None:
+            # both sides share the output grid; bucketize once
+            counts = transform.output_counts(np.asarray(reports, dtype=float))
         results[side] = run_emf(
-            transform, reports=reports, epsilon=epsilon, tol=tol, max_iter=max_iter
+            transform, counts=counts, epsilon=epsilon, tol=tol, max_iter=max_iter
         )
 
     variance_left = results["left"].normal_histogram_variance

@@ -27,7 +27,10 @@ import concurrent.futures
 import os
 import pickle
 import warnings
-from typing import Any, Dict, List, Sequence
+from typing import Any, Callable, Dict, List, Sequence
+
+#: progress callback signature: ``(completed_units, total_units)``
+ProgressCallback = Callable[[int, int], None]
 
 import numpy as np
 
@@ -78,10 +81,28 @@ def _run_unit(unit: Unit) -> tuple[Unit, List[Any]]:
     return unit, _WORKER_SPEC.evaluate_unit(unit, _WORKER_SEEDS[unit[0]])
 
 
+def _report(
+    progress: ProgressCallback | None, completed: int, total: int
+) -> None:
+    if progress is not None:
+        progress(completed, total)
+
+
 def _run_units_serial(
-    spec: ExperimentSpec, units: Sequence[Unit], seed_matrix: np.ndarray
+    spec: ExperimentSpec,
+    units: Sequence[Unit],
+    seed_matrix: np.ndarray,
+    progress: ProgressCallback | None = None,
+    done: int = 0,
+    total: int | None = None,
 ) -> Dict[Unit, List[Any]]:
-    return {unit: spec.evaluate_unit(unit, seed_matrix[unit[0]]) for unit in units}
+    total = len(units) if total is None else total
+    results: Dict[Unit, List[Any]] = {}
+    for unit in units:
+        results[unit] = spec.evaluate_unit(unit, seed_matrix[unit[0]])
+        done += 1
+        _report(progress, done, total)
+    return results
 
 
 def _run_units_parallel(
@@ -89,7 +110,11 @@ def _run_units_parallel(
     units: Sequence[Unit],
     seed_matrix: np.ndarray,
     n_workers: int,
+    progress: ProgressCallback | None = None,
+    done: int = 0,
+    total: int | None = None,
 ) -> Dict[Unit, List[Any]]:
+    total = len(units) if total is None else total
     try:
         pickle.dumps(spec)
     except Exception as error:  # unpicklable factory (e.g. a lambda)
@@ -100,14 +125,19 @@ def _run_units_parallel(
             RuntimeWarning,
             stacklevel=3,
         )
-        return _run_units_serial(spec, units, seed_matrix)
+        return _run_units_serial(spec, units, seed_matrix, progress, done, total)
     try:
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=min(n_workers, len(units)),
             initializer=_init_worker,
             initargs=(spec, seed_matrix),
         ) as pool:
-            return dict(pool.map(_run_unit, units))
+            results: Dict[Unit, List[Any]] = {}
+            for unit, records in pool.map(_run_unit, units):
+                results[unit] = records
+                done += 1
+                _report(progress, done, total)
+            return results
     except (OSError, concurrent.futures.process.BrokenProcessPool) as error:
         warnings.warn(
             f"process pool unavailable ({error}); falling back to serial "
@@ -115,7 +145,7 @@ def _run_units_parallel(
             RuntimeWarning,
             stacklevel=3,
         )
-        return _run_units_serial(spec, units, seed_matrix)
+        return _run_units_serial(spec, units, seed_matrix, progress, done, total)
 
 
 def run_experiment(
@@ -124,6 +154,7 @@ def run_experiment(
     n_workers: int | str | None = None,
     store_path: str | os.PathLike | None = None,
     resume: bool = True,
+    progress: ProgressCallback | None = None,
 ) -> List[Any]:
     """Execute a spec and return its result records in canonical order.
 
@@ -144,6 +175,10 @@ def run_experiment(
         (``resume=True``) and the merged result is written back.
     resume:
         Set ``False`` to ignore any existing artifact and recompute.
+    progress:
+        Optional ``(completed_units, total_units)`` callback invoked after
+        every finished work unit (units restored from an artifact are
+        reported up front), for long-run progress output.
     """
     master = ensure_rng(rng if rng is not None else spec.seed)
     seed_matrix = draw_seed_matrix(master, len(spec.points), spec.n_trials)
@@ -154,11 +189,18 @@ def run_experiment(
         completed = _load_completed_units(spec, store_path, units)
 
     pending = [unit for unit in units if unit not in completed]
+    done = len(completed)
+    if done:
+        _report(progress, done, len(units))
     n_workers = resolve_workers(n_workers)
     if n_workers > 1 and len(pending) > 1:
-        fresh = _run_units_parallel(spec, pending, seed_matrix, n_workers)
+        fresh = _run_units_parallel(
+            spec, pending, seed_matrix, n_workers, progress, done, len(units)
+        )
     else:
-        fresh = _run_units_serial(spec, pending, seed_matrix)
+        fresh = _run_units_serial(
+            spec, pending, seed_matrix, progress, done, len(units)
+        )
 
     records: List[Any] = []
     for unit in units:
@@ -223,6 +265,7 @@ def _store_records(
 
 __all__ = [
     "AUTO_WORKERS",
+    "ProgressCallback",
     "draw_seed_matrix",
     "resolve_workers",
     "run_experiment",

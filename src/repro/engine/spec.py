@@ -35,7 +35,11 @@ import numpy as np
 
 from repro.attacks.base import Attack
 from repro.datasets.base import NumericalDataset
-from repro.simulation.runner import run_trials_batched, run_trials_from_seeds
+from repro.simulation.runner import (
+    run_trials_batched,
+    run_trials_from_seeds,
+    run_trials_streaming,
+)
 from repro.simulation.schemes import Scheme
 from repro.simulation.sweep import SweepRecord
 from repro.utils.validation import check_integer
@@ -72,6 +76,13 @@ class ExperimentSpec:
         Use the stacked-trials estimation path (one ``perturb`` per scheme
         per point).  The default ``False`` reproduces the legacy serial
         ``sweep`` output bit for bit; ``True`` opts into the fast path.
+    chunk_size:
+        Run trials through the streaming collection path with this report
+        chunk size (see :func:`repro.simulation.runner.run_trials_streaming`)
+        — populations are generated and collected chunk by chunk, so memory
+        is bounded by the chunk size instead of ``n_users``.  Mutually
+        exclusive with ``batched``; ``None`` (default) keeps the in-memory
+        path.
     seed:
         Default master seed used when the executor is not handed an explicit
         generator.
@@ -97,6 +108,7 @@ class ExperimentSpec:
         1.0,
     )
     batched: bool = False
+    chunk_size: int | None = None
     seed: int | None = None
     description: str = ""
     fingerprint_extra: Mapping[str, Any] | None = None
@@ -107,6 +119,19 @@ class ExperimentSpec:
             raise ValueError(f"spec {self.name!r} has no sweep points")
         check_integer(self.n_users, "n_users", minimum=1)
         check_integer(self.n_trials, "n_trials", minimum=1)
+        if self.chunk_size is not None:
+            check_integer(self.chunk_size, "chunk_size", minimum=1)
+            if self.batched:
+                raise ValueError(
+                    f"spec {self.name!r} sets both batched and chunk_size; the "
+                    f"stacked-trials and streaming paths are mutually exclusive"
+                )
+            if self.is_point_granular():
+                raise ValueError(
+                    f"spec {self.name!r} overrides evaluate_point, which runs "
+                    f"outside the trial runners; chunk_size would be recorded "
+                    f"in the fingerprint but never honoured"
+                )
         if not self.is_point_granular():
             missing = [
                 label
@@ -166,7 +191,14 @@ class ExperimentSpec:
         if self.is_point_granular():
             return list(self.evaluate_point(point, trial_seeds))
         scheme = self.schemes_for(point)[scheme_index]
-        runner = run_trials_batched if self.batched else run_trials_from_seeds
+        kwargs: dict = {}
+        if self.chunk_size is not None:
+            runner = run_trials_streaming
+            kwargs["chunk_size"] = self.chunk_size
+        elif self.batched:
+            runner = run_trials_batched
+        else:
+            runner = run_trials_from_seeds
         result = runner(
             scheme,
             self.dataset_factory(point),
@@ -175,6 +207,7 @@ class ExperimentSpec:
             gamma=self.point_gamma(point),
             trial_seeds=trial_seeds,
             input_domain=self.point_domain(point),
+            **kwargs,
         )
         return [
             SweepRecord(
@@ -228,6 +261,11 @@ class ExperimentSpec:
             "batched": bool(self.batched),
             "granularity": "point" if self.is_point_granular() else "scheme",
         }
+        # the streaming path consumes randomness chunk-wise, so the chunk
+        # size changes results; fold it in only when set to keep existing
+        # in-memory artifacts resumable
+        if self.chunk_size is not None:
+            fingerprint["chunk_size"] = int(self.chunk_size)
         if self.fingerprint_extra:
             fingerprint.update(self.fingerprint_extra)
         return fingerprint

@@ -35,7 +35,7 @@ import hashlib
 import json
 import os
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
@@ -191,6 +191,7 @@ SCENARIO_KEYS = (
     "seed",
     "epsilon_min",
     "batched",
+    "chunk_size",
     "population",
 )
 
@@ -228,6 +229,12 @@ class ScenarioSpec:
         Mechanism input domain.
     batched:
         Use the stacked-trials fast path of the engine.
+    chunk_size:
+        Run every trial through the streaming collection path with this
+        report chunk size, so memory is bounded by the chunk size instead of
+        the population — the knob that lets a scenario declare
+        ``"population": {"n_users": 5000000}`` and still run.  Mutually
+        exclusive with ``batched``.
     """
 
     name: str
@@ -243,6 +250,7 @@ class ScenarioSpec:
     epsilon_min: float = 1.0 / 16.0
     input_domain: Tuple[float, float] = (-1.0, 1.0)
     batched: bool = False
+    chunk_size: int | None = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -273,6 +281,14 @@ class ScenarioSpec:
                 raise ValueError(f"scenario {self.name!r} has an empty 'gammas' grid")
         self.input_domain = (float(self.input_domain[0]), float(self.input_domain[1]))
         self.seed = int(self.seed)
+        if self.chunk_size is not None:
+            self.chunk_size = check_integer(self.chunk_size, "chunk_size", minimum=1)
+            if self.batched:
+                raise ValueError(
+                    f"scenario {self.name!r} sets both 'batched' and "
+                    f"'chunk_size'; the stacked-trials and streaming paths "
+                    f"are mutually exclusive"
+                )
 
     # ------------------------------------------------------------------
     # construction from documents
@@ -305,7 +321,7 @@ class ScenarioSpec:
             "epsilons": payload["epsilons"],
         }
         for key in ("description", "attacks", "datasets", "gammas", "seed",
-                    "epsilon_min", "batched"):
+                    "epsilon_min", "batched", "chunk_size"):
             if key in payload:
                 kwargs[key] = payload[key]
         n_trials = payload.get("trials", payload.get("n_trials"))
@@ -336,7 +352,7 @@ class ScenarioSpec:
         epsilon_min and per-component params — so its digest identifies the
         scenario for artifact resume.
         """
-        return {
+        document: Dict[str, Any] = {
             "name": self.name,
             "description": self.description,
             "schemes": list(self.schemes),
@@ -354,6 +370,11 @@ class ScenarioSpec:
             "epsilon_min": self.epsilon_min,
             "batched": self.batched,
         }
+        if self.chunk_size is not None:
+            # only recorded when set, so pre-streaming scenario digests (and
+            # their resumable artifacts) stay valid
+            document["chunk_size"] = self.chunk_size
+        return document
 
     def digest(self) -> str:
         """Stable hash of :meth:`document` (part of the spec fingerprint)."""
@@ -409,6 +430,7 @@ class ScenarioSpec:
             dataset_factory=DatasetLookup(datasets),
             input_domain=self.input_domain,
             batched=self.batched,
+            chunk_size=self.chunk_size,
             seed=self.seed,
             fingerprint_extra={"scenario_digest": self.digest()},
         )
@@ -420,6 +442,7 @@ def run_scenario(
     n_workers: int | str | None = None,
     store_path: str | os.PathLike | None = None,
     resume: bool = True,
+    progress: "Callable[[int, int], None] | None" = None,
 ) -> List[SweepRecord]:
     """Execute a scenario through the parallel executor and run store.
 
@@ -443,7 +466,12 @@ def run_scenario(
             token = f"opaque-{os.urandom(8).hex()}"
         spec.fingerprint_extra = {**spec.fingerprint_extra, "rng_override": token}
     return run_experiment(
-        spec, rng=master, n_workers=n_workers, store_path=store_path, resume=resume
+        spec,
+        rng=master,
+        n_workers=n_workers,
+        store_path=store_path,
+        resume=resume,
+        progress=progress,
     )
 
 

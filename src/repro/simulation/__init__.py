@@ -12,7 +12,13 @@ handful of calls:
   range, ...) and collect tidy result records.
 """
 
-from repro.simulation.population import Population, build_population
+from repro.simulation.population import (
+    Population,
+    PopulationStream,
+    build_population,
+    population_counts,
+    stream_population,
+)
 from repro.simulation.schemes import (
     Scheme,
     DAPScheme,
@@ -28,6 +34,7 @@ from repro.simulation.runner import (
     run_trials,
     run_trials_from_seeds,
     run_trials_batched,
+    run_trials_streaming,
     evaluate_schemes,
 )
 from repro.simulation.sweep import SweepRecord, sweep, records_to_table
@@ -35,8 +42,12 @@ from repro.simulation.sweep import SweepRecord, sweep, records_to_table
 __all__ = [
     "run_trials_from_seeds",
     "run_trials_batched",
+    "run_trials_streaming",
     "Population",
+    "PopulationStream",
     "build_population",
+    "population_counts",
+    "stream_population",
     "Scheme",
     "DAPScheme",
     "SingleRoundScheme",

@@ -21,7 +21,7 @@ from repro.defenses.base import Defense
 from repro.ldp.base import NumericalMechanism
 from repro.ldp.piecewise import PiecewiseMechanism
 from repro.registry import DEFENSES, MECHANISMS, SCHEMES
-from repro.simulation.population import Population
+from repro.simulation.population import Population, PopulationStream
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 
 MechanismFactory = Callable[[float], NumericalMechanism]
@@ -32,11 +32,28 @@ class Scheme(abc.ABC):
 
     name: str = "scheme"
 
+    #: whether :meth:`estimate_stream` runs in bounded memory (overridden by
+    #: schemes with a native chunked collection path)
+    supports_streaming: bool = False
+
     @abc.abstractmethod
     def estimate(
         self, population: Population, attack: Attack | None, rng: RngLike = None
     ) -> float:
         """Run one collection round and return the mean estimate."""
+
+    def estimate_stream(
+        self, stream: PopulationStream, attack: Attack | None, rng: RngLike = None
+    ) -> float:
+        """Run one collection round over a chunked population stream.
+
+        Schemes with a chunked collection path (DAP) override this to stay in
+        bounded memory; the default materialises the stream and defers to
+        :meth:`estimate`, which is correct but costs the full population's
+        memory — fine for the classical baselines at the scales they can run
+        at anyway.
+        """
+        return float(self.estimate(stream.materialize(), attack, rng=rng))
 
     def estimate_batch(
         self,
@@ -72,6 +89,8 @@ class DAPScheme(Scheme):
         suffix = {"emf": "EMF", "emf_star": "EMF*", "cemf_star": "CEMF*"}[config.estimator]
         self.name = name or f"DAP-{suffix}"
 
+    supports_streaming = True
+
     def estimate(
         self, population: Population, attack: Attack | None, rng: RngLike = None
     ) -> float:
@@ -79,6 +98,19 @@ class DAPScheme(Scheme):
             population.normal_values,
             attack or NoAttack(),
             population.n_byzantine,
+            rng=rng,
+        )
+        return result.estimate
+
+    def estimate_stream(
+        self, stream: PopulationStream, attack: Attack | None, rng: RngLike = None
+    ) -> float:
+        """Constant-memory round: chunked collection into group accumulators."""
+        result = self.protocol.run_stream(
+            stream.chunks(),
+            stream.n_normal,
+            attack or NoAttack(),
+            stream.n_byzantine,
             rng=rng,
         )
         return result.estimate

@@ -102,6 +102,65 @@ class TestRun:
         assert "unknown scenario keys" in result.stderr
 
 
+class TestChunkSize:
+    def test_run_with_chunk_size_flag(self, tmp_path):
+        scenario = dict(TINY_SCENARIO, name="tiny_stream", schemes=["DAP-EMF"])
+        path = tmp_path / "stream.json"
+        path.write_text(json.dumps(scenario))
+        store = tmp_path / "stream_artifact.json"
+        result = run_cli(
+            "run", str(path), "--store", str(store), "--chunk-size", "128"
+        )
+        assert result.returncode == 0, result.stderr
+        artifact = load_run(store)
+        assert artifact.records
+        # the streaming chunk size is part of the run's identity
+        assert artifact.meta["fingerprint"]["chunk_size"] == 128
+
+    def test_chunk_size_flag_matches_scenario_key(self, tmp_path):
+        flagged = dict(TINY_SCENARIO, name="s1", schemes=["DAP-EMF"])
+        keyed = dict(flagged, name="s1", chunk_size=128)
+        p1, p2 = tmp_path / "a.json", tmp_path / "b.json"
+        p1.write_text(json.dumps(flagged))
+        p2.write_text(json.dumps(keyed))
+        s1, s2 = tmp_path / "a_art.json", tmp_path / "b_art.json"
+        assert (
+            run_cli("run", str(p1), "--store", str(s1), "--chunk-size", "128").returncode
+            == 0
+        )
+        assert run_cli("run", str(p2), "--store", str(s2)).returncode == 0
+        assert json.loads(s1.read_text())["columns"] == json.loads(s2.read_text())["columns"]
+
+    def test_rejects_bad_chunk_size(self, scenario_file):
+        result = run_cli("run", str(scenario_file), "--chunk-size", "0")
+        assert result.returncode == 2  # argparse usage error
+        assert "positive integer" in result.stderr
+
+    def test_rejects_chunk_size_on_batched_scenario(self, tmp_path):
+        batched = dict(TINY_SCENARIO, batched=True)
+        path = tmp_path / "batched.json"
+        path.write_text(json.dumps(batched))
+        result = run_cli("run", str(path), "--chunk-size", "64")
+        assert result.returncode == 1
+        assert "mutually exclusive" in result.stderr
+
+
+class TestProgressOutput:
+    def test_run_reports_completed_over_total_units(self, scenario_file, tmp_path):
+        result = run_cli("run", str(scenario_file), "--store", str(tmp_path / "a.json"))
+        assert result.returncode == 0, result.stderr
+        # 2 epsilons x 2 attacks x 2 schemes = 8 units; the final unit is
+        # always reported regardless of throttling
+        assert "8/8 work units completed" in result.stderr
+
+    def test_quiet_silences_progress(self, scenario_file, tmp_path):
+        result = run_cli(
+            "run", str(scenario_file), "--store", str(tmp_path / "a.json"), "--quiet"
+        )
+        assert result.returncode == 0, result.stderr
+        assert "work units" not in result.stderr
+
+
 class TestResume:
     def test_resume_requires_artifact(self, scenario_file, tmp_path):
         result = run_cli(

@@ -1,0 +1,202 @@
+"""Unit tests for the streaming sufficient-statistics accumulators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.collect import (
+    CategoryCountAccumulator,
+    ExactSum,
+    GroupAccumulator,
+    HistogramAccumulator,
+    SumCount,
+    chunk_array,
+    iter_chunks,
+)
+from repro.ldp import PiecewiseMechanism
+from repro.attacks import BiasedByzantineAttack, PoisonRange
+from repro.utils.discretization import BucketGrid
+
+CHUNK_SIZES = (1, 7, 64, 1_000, 10_000)
+
+
+class TestIterChunks:
+    def test_covers_range_without_overlap(self):
+        bounds = list(iter_chunks(1_003, 100))
+        assert bounds[0] == (0, 100)
+        assert bounds[-1] == (1_000, 1_003)
+        assert sum(stop - start for start, stop in bounds) == 1_003
+
+    def test_chunk_larger_than_n(self):
+        assert list(iter_chunks(5, 100)) == [(0, 5)]
+
+    def test_empty(self):
+        assert list(iter_chunks(0, 100)) == []
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            list(iter_chunks(10, 0))
+
+    def test_chunk_array_round_trips(self):
+        values = np.arange(11.0)
+        chunks = list(chunk_array(values, 4))
+        assert [c.size for c in chunks] == [4, 4, 3]
+        np.testing.assert_array_equal(np.concatenate(chunks), values)
+
+
+class TestExactSum:
+    def test_invariant_across_chunkings(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(-5, 5, 9_871)
+        reference = ExactSum().add(values).value
+        for chunk_size in CHUNK_SIZES:
+            acc = ExactSum()
+            for chunk in chunk_array(values, chunk_size):
+                acc.add(chunk)
+            assert acc.value == reference
+
+    def test_correctly_rounded_on_cancellation(self):
+        # 1e16 + 1 - 1e16 loses the 1 under naive float addition
+        acc = ExactSum()
+        acc.add(np.array([1e16, 1.0]))
+        acc.add(np.array([-1e16]))
+        assert acc.value == 1.0
+
+    def test_merge_matches_single_stream(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=5_000)
+        left = ExactSum().add(values[:1_234])
+        right = ExactSum().add(values[1_234:])
+        assert left.merge(right).value == ExactSum().add(values).value
+
+    def test_compression_keeps_value(self):
+        acc = ExactSum()
+        for value in np.geomspace(1e-12, 1e12, 3_000):
+            acc.add_value(value)
+        assert acc.value == pytest.approx(float(np.geomspace(1e-12, 1e12, 3_000).sum()))
+        assert len(acc._partials) <= 256 + 2
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            ExactSum().add(np.array([1.0, np.inf]))
+
+
+class TestSumCount:
+    def test_mean_invariant_across_chunkings(self):
+        rng = np.random.default_rng(2)
+        values = rng.uniform(-1, 1, 4_321)
+        reference = SumCount().update(values)
+        for chunk_size in CHUNK_SIZES:
+            acc = SumCount()
+            for chunk in chunk_array(values, chunk_size):
+                acc.update(chunk)
+            assert acc.count == values.size
+            assert acc.mean == reference.mean
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            SumCount().mean
+
+
+class TestHistogramAccumulator:
+    def test_counts_match_one_shot(self):
+        rng = np.random.default_rng(3)
+        grid = BucketGrid(-2.0, 2.0, 37)
+        values = rng.uniform(-2.5, 2.5, 6_000)  # includes out-of-domain clipping
+        expected = grid.counts(values)
+        for chunk_size in CHUNK_SIZES:
+            acc = HistogramAccumulator(grid, track_sum=True)
+            for chunk in chunk_array(values, chunk_size):
+                acc.update(chunk)
+            np.testing.assert_array_equal(acc.counts_float(), expected)
+            assert acc.sum == ExactSum().add(values).value
+            assert acc.n_values == values.size
+
+    def test_merge_requires_same_grid(self):
+        a = HistogramAccumulator(BucketGrid(0.0, 1.0, 4))
+        b = HistogramAccumulator(BucketGrid(0.0, 1.0, 5))
+        with pytest.raises(ValueError, match="different grids"):
+            a.merge(b)
+
+    def test_sum_requires_tracking(self):
+        acc = HistogramAccumulator(BucketGrid(0.0, 1.0, 4))
+        with pytest.raises(ValueError, match="track_sum"):
+            acc.sum
+
+
+class TestCategoryCountAccumulator:
+    def test_matches_bincount(self):
+        rng = np.random.default_rng(4)
+        reports = rng.integers(0, 9, 5_000)
+        expected = np.bincount(reports, minlength=9)
+        for chunk_size in CHUNK_SIZES:
+            acc = CategoryCountAccumulator(9)
+            for chunk in chunk_array(reports, chunk_size):
+                acc.update(chunk)
+            np.testing.assert_array_equal(acc.counts, expected)
+            assert acc.n_reports == reports.size
+
+    def test_rejects_out_of_range(self):
+        acc = CategoryCountAccumulator(3)
+        with pytest.raises(ValueError, match=r"\[0, 3\)"):
+            acc.update(np.array([0, 3]))
+
+
+class TestGroupAccumulator:
+    def test_expected_report_mismatch_raises(self):
+        acc = GroupAccumulator(1.0, BucketGrid(-3.0, 3.0, 16), n_expected_reports=10)
+        acc.update(np.zeros(7))
+        with pytest.raises(ValueError, match="sized for 10"):
+            acc.stats()
+
+    def test_stats_carry_sufficient_statistics(self):
+        rng = np.random.default_rng(5)
+        grid = BucketGrid(-3.0, 3.0, 16)
+        reports = rng.uniform(-3, 3, 500)
+        acc = GroupAccumulator(0.5, grid, n_expected_reports=500, n_users=250)
+        acc.update_stream(chunk_array(reports, 99))
+        stats = acc.stats()
+        assert stats.epsilon == 0.5
+        assert stats.n_reports == 500
+        assert stats.n_users == 250
+        assert stats.report_sum == ExactSum().add(reports).value
+        np.testing.assert_array_equal(stats.output_counts, grid.counts(reports))
+
+    def test_merge_requires_same_budget(self):
+        grid = BucketGrid(-3.0, 3.0, 16)
+        with pytest.raises(ValueError, match="budgets"):
+            GroupAccumulator(1.0, grid).merge(GroupAccumulator(0.5, grid))
+
+
+class TestChunkedClientPaths:
+    def test_perturb_stream_yields_one_chunk_per_input(self):
+        mech = PiecewiseMechanism(1.0)
+        values = np.random.default_rng(6).uniform(-1, 1, 1_000)
+        chunks = list(mech.perturb_stream(chunk_array(values, 300), rng=0))
+        assert [c.size for c in chunks] == [300, 300, 300, 100]
+        low, high = mech.output_domain
+        for chunk in chunks:
+            assert chunk.min() >= low and chunk.max() <= high
+
+    def test_perturb_stream_is_deterministic_and_unbiased(self):
+        mech = PiecewiseMechanism(2.0)
+        values = np.random.default_rng(7).uniform(-0.2, 0.2, 50_000)
+        first = np.concatenate(
+            list(mech.perturb_stream(chunk_array(values, 999), np.random.default_rng(42)))
+        )
+        second = np.concatenate(
+            list(mech.perturb_stream(chunk_array(values, 999), np.random.default_rng(42)))
+        )
+        np.testing.assert_array_equal(first, second)
+        # PM reports are unbiased estimates of the inputs
+        assert abs(first.mean() - values.mean()) < 0.05
+
+    def test_poison_report_chunks_cover_n_byzantine(self):
+        attack = BiasedByzantineAttack(PoisonRange.of_c(0.5, 1.0))
+        mech = PiecewiseMechanism(1.0)
+        pieces = list(attack.poison_report_chunks(1_003, mech, 0.0, rng=0, chunk_size=400))
+        assert [p.size for p in pieces] == [400, 400, 203]
+        low, high = mech.output_domain
+        stacked = np.concatenate(pieces)
+        assert stacked.min() >= low - 1e-9 and stacked.max() <= high + 1e-9

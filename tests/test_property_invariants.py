@@ -14,12 +14,19 @@ from hypothesis import strategies as st
 
 from repro.attacks import BiasedByzantineAttack, GeneralByzantineAttack, PoisonRange
 from repro.attacks.reduction import reduce_gba_to_bba, total_deviation
+from repro.collect import ExactSum, chunk_array
 from repro.core.aggregation import aggregation_weights
 from repro.core.emf import run_emf
 from repro.core.emf_star import run_emf_star
-from repro.core.mean_estimation import corrected_mean
+from repro.core.mean_estimation import corrected_mean, corrected_mean_from_stats
 from repro.core.transform import build_transform_matrix
+from repro.datasets.synthetic import uniform_dataset
 from repro.ldp import DuchiMechanism, KRandomizedResponse, PiecewiseMechanism
+from repro.simulation.population import (
+    build_population,
+    population_counts,
+    stream_population,
+)
 
 COMMON_SETTINGS = dict(
     deadline=None, suppress_health_check=[HealthCheck.too_slow]
@@ -125,6 +132,97 @@ class TestEstimatorInvariants:
         weights = aggregation_weights(epsilons, counts)
         assert weights.min() >= 0
         assert weights.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+class TestPopulationSplitInvariants:
+    """Byzantine/normal splits at extreme gamma and tiny populations."""
+
+    @given(n_users=st.integers(1, 5_000), gamma=st.floats(0.0, 1.0))
+    @settings(max_examples=200, **COMMON_SETTINGS)
+    def test_counts_always_sum_to_n_or_reject(self, n_users, gamma):
+        try:
+            n_normal, n_byzantine = population_counts(n_users, gamma)
+        except ValueError:
+            # only legitimate rejection: rounding leaves no normal user
+            assert int(round(n_users * gamma)) >= n_users
+            return
+        assert n_normal + n_byzantine == n_users
+        assert n_normal >= 1
+        assert n_byzantine == int(round(n_users * gamma))
+
+    @given(n_users=st.integers(1, 2_000))
+    @settings(max_examples=50, **COMMON_SETTINGS)
+    def test_gamma_zero_means_no_byzantine(self, n_users):
+        assert population_counts(n_users, 0.0) == (n_users, 0)
+
+    @given(n_users=st.integers(2, 2_000))
+    @settings(max_examples=50, **COMMON_SETTINGS)
+    def test_near_one_gamma_keeps_at_least_one_normal_or_rejects(self, n_users):
+        with pytest.raises(ValueError, match="no normal users"):
+            population_counts(n_users, 1.0)
+        # the largest gamma that still rounds to n-1 Byzantine users works
+        n_normal, n_byzantine = population_counts(n_users, (n_users - 1) / n_users)
+        assert n_normal >= 1 and n_normal + n_byzantine == n_users
+
+    @given(
+        n_users=st.integers(1, 1_500),
+        gamma=st.floats(0.0, 0.999),
+        chunk_size=st.integers(1, 2_048),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=80, **COMMON_SETTINGS)
+    def test_chunked_generator_rounds_like_in_memory(
+        self, n_users, gamma, chunk_size, seed
+    ):
+        dataset = uniform_dataset(n_samples=200, rng=0)
+        try:
+            population = build_population(dataset, n_users, gamma, rng=seed)
+        except ValueError:
+            with pytest.raises(ValueError):
+                stream_population(dataset, n_users, gamma, rng=seed)
+            return
+        stream = stream_population(
+            dataset, n_users, gamma, rng=seed, chunk_size=chunk_size
+        )
+        assert stream.n_normal == population.n_normal
+        assert stream.n_byzantine == population.n_byzantine
+        values = np.concatenate(list(stream.chunks())) if stream.n_normal else []
+        assert len(values) == stream.n_normal
+        assert stream.true_mean == pytest.approx(np.mean(values))
+
+
+class TestStreamingSumInvariants:
+    @given(
+        seed=st.integers(0, 1_000),
+        n=st.integers(1, 3_000),
+        chunk_a=st.integers(1, 500),
+        chunk_b=st.integers(1, 500),
+        scale=st.floats(1e-3, 1e6),
+    )
+    @settings(max_examples=60, **COMMON_SETTINGS)
+    def test_exact_sum_is_chunking_invariant(self, seed, n, chunk_a, chunk_b, scale):
+        values = np.random.default_rng(seed).normal(scale=scale, size=n)
+        sums = set()
+        for chunk_size in (chunk_a, chunk_b, n, 10**9):
+            acc = ExactSum()
+            for chunk in chunk_array(values, chunk_size):
+                acc.add(chunk)
+            sums.add(acc.value)
+        assert len(sums) == 1
+
+    @given(
+        gamma=st.floats(0, 0.9),
+        poison_mean=st.floats(-5, 5),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=50, **COMMON_SETTINGS)
+    def test_corrected_mean_stats_form_matches_array_form(
+        self, gamma, poison_mean, seed
+    ):
+        reports = np.random.default_rng(seed).uniform(-3, 3, 200)
+        assert corrected_mean_from_stats(
+            float(reports.sum()), reports.size, gamma, poison_mean
+        ) == corrected_mean(reports, gamma, poison_mean)
 
 
 class TestTheorem1Invariant:

@@ -1,0 +1,274 @@
+"""Streaming vs in-memory equivalence: the bit-identity contract.
+
+Feeding a pre-drawn report array through chunked accumulators — at several
+chunk sizes, including a chunk larger than the stream and sizes that do not
+divide it — must be bit-identical to the in-memory ``DAPProtocol.aggregate``
+path, for all three estimators and for the k-RR frequency extension.  These
+tests enforce the contract the whole streaming subsystem rests on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import BiasedByzantineAttack, PoisonRange
+from repro.collect import CategoryCountAccumulator, chunk_array
+from repro.core.dap import DAPConfig, DAPProtocol
+from repro.core.frequency import FrequencyDAP
+from repro.datasets.synthetic import uniform_dataset
+from repro.engine import ExperimentSpec
+from repro.ldp.square_wave import SquareWaveMechanism
+from repro.scenario import ScenarioSpec
+from repro.simulation.population import build_population, stream_population
+from repro.simulation.runner import run_trials_streaming
+from repro.simulation.schemes import make_scheme
+
+ATTACK = BiasedByzantineAttack(PoisonRange.of_c(0.5, 1.0))
+CHUNK_SIZES = (7, 997, 4_096, 10**7)  # includes chunk > n and n % chunk != 0
+
+
+def _collect_groups(protocol, n_normal=4_000, n_byzantine=1_500, seed=0):
+    rng = np.random.default_rng(seed)
+    values = rng.uniform(-0.8, 0.8, n_normal)
+    return protocol.collect(values, ATTACK, n_byzantine, rng=rng)
+
+
+def _stream_aggregate(protocol, groups, chunk_size):
+    accumulators = []
+    for group in groups:
+        acc = protocol.group_accumulator(
+            group.epsilon, group.n_reports, n_users=group.n_users
+        )
+        acc.update_stream(chunk_array(group.reports, chunk_size))
+        accumulators.append(acc)
+    return protocol.aggregate_accumulated(accumulators)
+
+
+class TestDAPBitIdentity:
+    @pytest.mark.parametrize(
+        "estimator, seed", [("emf", 101), ("emf_star", 202), ("cemf_star", 303)]
+    )
+    def test_chunked_accumulators_match_in_memory_aggregate(self, estimator, seed):
+        protocol = DAPProtocol(DAPConfig(epsilon=1.0, estimator=estimator))
+        groups = _collect_groups(protocol, seed=seed)
+        reference = protocol.aggregate(groups)
+        for chunk_size in CHUNK_SIZES:
+            result = _stream_aggregate(protocol, groups, chunk_size)
+            assert result.estimate == reference.estimate
+            assert result.gamma_hat == reference.gamma_hat
+            assert result.poisoned_side == reference.poisoned_side
+            np.testing.assert_array_equal(result.weights, reference.weights)
+            for got, want in zip(result.group_estimates, reference.group_estimates):
+                assert got.mean == want.mean
+                assert got.gamma_hat == want.gamma_hat
+                assert got.n_normal_estimate == want.n_normal_estimate
+
+    def test_distribution_route_matches_too(self):
+        # the Square Wave configuration estimates the mean from the
+        # reconstructed histogram rather than the report sum
+        config = DAPConfig(
+            epsilon=1.0,
+            estimator="emf_star",
+            mechanism_factory=SquareWaveMechanism,
+            intra_group_mean="distribution",
+        )
+        protocol = DAPProtocol(config)
+        rng = np.random.default_rng(17)
+        values = rng.uniform(0.1, 0.9, 3_000)
+        groups = protocol.collect(values, ATTACK, 1_000, rng=rng)
+        reference = protocol.aggregate(groups)
+        for chunk_size in (997, 10**7):
+            result = _stream_aggregate(protocol, groups, chunk_size)
+            assert result.estimate == reference.estimate
+            assert result.gamma_hat == reference.gamma_hat
+
+    def test_wrong_grid_is_rejected(self):
+        protocol = DAPProtocol(DAPConfig(epsilon=1.0))
+        groups = _collect_groups(protocol, seed=3)
+        # an accumulator sized for the wrong report count has the wrong grid
+        acc = protocol.group_accumulator(groups[0].epsilon, 10)
+        acc.n_expected_reports = None
+        acc.update(groups[0].reports)
+        with pytest.raises(ValueError, match="accumulated on a"):
+            protocol.aggregate_accumulated([acc])
+
+
+class TestFrequencyBitIdentity:
+    def test_counts_path_matches_report_path(self):
+        rng = np.random.default_rng(5)
+        dap = FrequencyDAP(epsilon=1.0, n_categories=8, estimator="emf_star")
+        normal = rng.integers(0, 8, 4_000)
+        reports = dap.collect(normal, (3,), 900, rng=rng)
+        reference = dap.estimate(reports)
+        for chunk_size in CHUNK_SIZES:
+            accumulator = CategoryCountAccumulator(8)
+            for chunk in chunk_array(reports, chunk_size):
+                accumulator.update(chunk)
+            result = dap.estimate_from_counts(accumulator)
+            np.testing.assert_array_equal(result.frequencies, reference.frequencies)
+            assert result.poisoned_categories == reference.poisoned_categories
+            assert result.gamma_hat == reference.gamma_hat
+
+    def test_collect_stream_end_to_end(self):
+        rng = np.random.default_rng(6)
+        dap = FrequencyDAP(epsilon=2.0, n_categories=6)
+        normal = rng.integers(0, 6, 5_000)
+        accumulator = dap.collect_stream(
+            chunk_array(normal, 777), (2,), 1_000, rng=rng, poison_chunk_size=300
+        )
+        assert accumulator.n_reports == 6_000
+        result = dap.estimate_from_counts(accumulator)
+        assert result.frequencies.shape == (6,)
+        assert result.frequencies.sum() == pytest.approx(1.0)
+
+
+class TestCollectStream:
+    def test_group_sizes_and_report_counts_match_in_memory_shape(self):
+        protocol = DAPProtocol(DAPConfig(epsilon=1.0))
+        rng = np.random.default_rng(8)
+        values = rng.uniform(-0.5, 0.5, 3_210)
+        accumulators = protocol.collect_stream(
+            chunk_array(values, 500), 3_210, ATTACK, 1_111, rng=rng
+        )
+        groups = protocol.collect(values, ATTACK, 1_111, rng=np.random.default_rng(8))
+        assert [a.n_users for a in accumulators] == [g.n_users for g in groups]
+        assert [a.n_reports for a in accumulators] == [g.n_reports for g in groups]
+        # the sized accumulators finalise cleanly
+        protocol.aggregate_accumulated(accumulators)
+
+    def test_streamed_estimate_close_to_truth(self):
+        protocol = DAPProtocol(DAPConfig(epsilon=2.0, estimator="cemf_star"))
+        rng = np.random.default_rng(9)
+        values = rng.uniform(0.1, 0.5, 20_000)
+        result = protocol.run_stream(
+            chunk_array(values, 4_096), 20_000, ATTACK, 5_000, rng=rng
+        )
+        assert abs(result.estimate - values.mean()) < 0.1
+        assert 0.1 < result.gamma_hat < 0.35
+
+    def test_wrong_declared_n_normal_raises(self):
+        protocol = DAPProtocol(DAPConfig(epsilon=1.0))
+        values = np.zeros(100)
+        with pytest.raises(ValueError, match="expected 150"):
+            protocol.collect_stream(chunk_array(values, 30), 150, rng=0)
+        with pytest.raises(ValueError, match="more than the declared"):
+            protocol.collect_stream(chunk_array(values, 30), 50, rng=0)
+
+
+class TestStreamingTrialPath:
+    def test_run_trials_streaming_records_exact_truths(self):
+        dataset = uniform_dataset(n_samples=2_000, rng=0)
+        scheme = make_scheme("DAP-EMF", epsilon=1.0)
+        result = run_trials_streaming(
+            scheme, dataset, ATTACK, n_users=2_000, gamma=0.25,
+            trial_seeds=[11, 22], chunk_size=300,
+        )
+        assert len(result.estimates) == 2
+        assert len(result.truths) == 2
+        assert result.mse < 1.0
+
+    def test_non_streaming_scheme_falls_back_to_materialise(self):
+        dataset = uniform_dataset(n_samples=2_000, rng=0)
+        scheme = make_scheme("Ostrich", epsilon=1.0)
+        assert not scheme.supports_streaming
+        result = run_trials_streaming(
+            scheme, dataset, None, n_users=1_000, gamma=0.0,
+            trial_seeds=[5], chunk_size=128,
+        )
+        assert abs(result.bias) < 0.2
+
+    def test_stream_matches_build_population_split(self):
+        dataset = uniform_dataset(n_samples=1_000, rng=0)
+        for n_users, gamma in ((1_000, 0.25), (7, 0.4), (3, 0.0)):
+            population = build_population(dataset, n_users, gamma, rng=0)
+            stream = stream_population(dataset, n_users, gamma, rng=0, chunk_size=3)
+            assert stream.n_normal == population.n_normal
+            assert stream.n_byzantine == population.n_byzantine
+            consumed = np.concatenate(list(stream.chunks()))
+            assert consumed.size == stream.n_normal
+            assert stream.true_mean == pytest.approx(consumed.mean())
+
+    def test_stream_is_single_use_and_guards_true_mean(self):
+        dataset = uniform_dataset(n_samples=100, rng=0)
+        stream = stream_population(dataset, 100, 0.1, rng=0, chunk_size=30)
+        with pytest.raises(RuntimeError, match="fully consumed"):
+            stream.true_mean
+        list(stream.chunks())
+        with pytest.raises(RuntimeError, match="once"):
+            list(stream.chunks())
+        stream.true_mean  # now defined
+
+
+class TestEngineChunkSize:
+    def test_spec_rejects_batched_plus_chunk_size(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            ExperimentSpec(
+                name="x",
+                points=[{"epsilon": 1.0}],
+                n_users=10,
+                n_trials=1,
+                batched=True,
+                chunk_size=100,
+                scheme_factory=lambda point: [],
+                attack_factory=lambda point: None,
+                dataset_factory=lambda point: None,
+            )
+
+    def test_point_granular_spec_rejects_chunk_size(self):
+        class PointSpecSubclass(ExperimentSpec):
+            def evaluate_point(self, point, trial_seeds):
+                return []
+
+        with pytest.raises(ValueError, match="never honoured"):
+            PointSpecSubclass(
+                name="x",
+                points=[{"epsilon": 1.0}],
+                n_users=10,
+                n_trials=1,
+                chunk_size=64,
+            )
+
+    def test_non_streaming_scheme_warns_on_streaming_path(self):
+        dataset = uniform_dataset(n_samples=500, rng=0)
+        scheme = make_scheme("Trimming", epsilon=1.0)
+        with pytest.warns(RuntimeWarning, match="no streaming collection path"):
+            run_trials_streaming(
+                scheme, dataset, None, n_users=500, gamma=0.0,
+                trial_seeds=[1], chunk_size=100,
+            )
+
+    def test_chunk_size_changes_fingerprint_only_when_set(self):
+        def spec(**kwargs):
+            return ExperimentSpec(
+                name="x",
+                points=[{"epsilon": 1.0}],
+                n_users=10,
+                n_trials=1,
+                scheme_factory=lambda point: [],
+                attack_factory=lambda point: None,
+                dataset_factory=lambda point: None,
+                **kwargs,
+            )
+
+        base = spec().fingerprint()
+        assert "chunk_size" not in base
+        streamed = spec(chunk_size=512).fingerprint()
+        assert streamed["chunk_size"] == 512
+
+    def test_scenario_rejects_batched_plus_chunk_size(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            ScenarioSpec(
+                name="x",
+                schemes=["Ostrich"],
+                epsilons=[1.0],
+                batched=True,
+                chunk_size=64,
+            )
+
+    def test_scenario_digest_unchanged_without_chunk_size(self):
+        kwargs = dict(name="x", schemes=["Ostrich"], epsilons=[1.0])
+        assert ScenarioSpec(**kwargs).digest() != ScenarioSpec(
+            **kwargs, chunk_size=64
+        ).digest()
+        assert "chunk_size" not in ScenarioSpec(**kwargs).document()
