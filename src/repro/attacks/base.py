@@ -84,6 +84,18 @@ class Attack(abc.ABC):
             Randomness source.
         """
 
+    def n_poison_reports(self, n_byzantine: int) -> int:
+        """How many poison reports ``n_byzantine`` Byzantine users submit.
+
+        One per user for every real attack (the default); degenerate attacks
+        that stay silent (:class:`NoAttack`) override this, so the streaming
+        and sharded collectors can size their accumulators — whose expected
+        report counts double as consistency checks — without materialising
+        the poison first.  Must be additive in ``n_byzantine`` (the sharded
+        path sums per-shard expectations into the group total).
+        """
+        return self._check_population(n_byzantine)
+
     def poison_report_chunks(
         self,
         n_byzantine: int,
@@ -140,6 +152,11 @@ class NoAttack(Attack):
         self._check_population(n_byzantine)
         ensure_rng(rng)  # keep RNG consumption consistent across attack types
         return AttackReport(reports=np.empty(0), poisoned_side="right")
+
+    def n_poison_reports(self, n_byzantine: int) -> int:
+        """No attack, no reports — whatever the Byzantine head-count."""
+        self._check_population(n_byzantine)
+        return 0
 
 
 __all__ = ["Attack", "AttackReport", "NoAttack"]

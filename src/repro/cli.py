@@ -38,17 +38,25 @@ def _workers(value: str) -> int | str:
         ) from None
 
 
-def _chunk_size(value: str) -> int:
-    """Parse ``--chunk-size``: a positive integer."""
-    try:
-        parsed = int(value)
-    except ValueError:
-        parsed = 0
-    if parsed < 1:
-        raise argparse.ArgumentTypeError(
-            f"--chunk-size must be a positive integer, got {value!r}"
-        )
-    return parsed
+def _positive_int(flag: str):
+    """Build an argparse type callable for a positive-integer flag."""
+
+    def parse(value: str) -> int:
+        try:
+            parsed = int(value)
+        except ValueError:
+            parsed = 0
+        if parsed < 1:
+            raise argparse.ArgumentTypeError(
+                f"{flag} must be a positive integer, got {value!r}"
+            )
+        return parsed
+
+    return parse
+
+
+_chunk_size = _positive_int("--chunk-size")
+_collect_workers = _positive_int("--collect-workers")
 
 
 def _default_store(scenario: ScenarioSpec) -> str:
@@ -81,11 +89,16 @@ class _ProgressPrinter:
 
 def _execute(args: argparse.Namespace, resume: bool, require_artifact: bool) -> int:
     scenario = ScenarioSpec.from_file(args.scenario)
+    overrides = {}
     if args.chunk_size is not None:
+        overrides["chunk_size"] = args.chunk_size
+    if args.collect_workers is not None:
+        overrides["collect_workers"] = args.collect_workers
+    if overrides:
         # rebuild (rather than mutate) so the spec's own validation runs on
-        # the override, and the document digest — hence the run artifact —
-        # reflects the streaming configuration
-        scenario = dataclasses.replace(scenario, chunk_size=args.chunk_size)
+        # the overrides; both knobs are execution details, excluded from the
+        # document digest, so an existing artifact stays resumable
+        scenario = dataclasses.replace(scenario, **overrides)
     store = args.store or _default_store(scenario)
     if require_artifact and not os.path.exists(store):
         print(
@@ -169,6 +182,14 @@ def build_parser() -> argparse.ArgumentParser:
         "'chunk_size'; default: the scenario's setting, else in-memory)",
     )
     run_parser.add_argument(
+        "--collect-workers",
+        type=_collect_workers,
+        default=None,
+        help="fan each collection round out over this many shard workers "
+        "(records are bit-identical for any value; overrides the scenario's "
+        "'collect_workers')",
+    )
+    run_parser.add_argument(
         "--store",
         default=None,
         help="run-artifact path (default: runs/<scenario name>.json)",
@@ -189,6 +210,9 @@ def build_parser() -> argparse.ArgumentParser:
     resume_parser.add_argument("scenario", help="path to a scenario JSON file")
     resume_parser.add_argument("--workers", type=_workers, default=None)
     resume_parser.add_argument("--chunk-size", type=_chunk_size, default=None)
+    resume_parser.add_argument(
+        "--collect-workers", type=_collect_workers, default=None
+    )
     resume_parser.add_argument("--store", default=None)
     resume_parser.add_argument("--quiet", action="store_true")
     resume_parser.set_defaults(func=_cmd_resume)

@@ -21,7 +21,11 @@ larger than RAM can be collected in bounded memory:
 
 :mod:`repro.collect.streaming` holds the chunk-planning helpers shared by the
 streaming population generator, the chunked perturb/poison paths and the
-``collect_stream`` protocol entry points.
+``collect_stream`` protocol entry points.  :mod:`repro.collect.sharding`
+adds the deterministic block-seeded :class:`~repro.collect.sharding.ShardPlan`
+behind the parallel ``collect_sharded`` paths: every accumulator's
+associative ``merge()`` plus per-block pre-drawn seeds make the merged round
+bit-identical at any shard count and any worker count.
 """
 
 from repro.collect.accumulators import (
@@ -32,16 +36,26 @@ from repro.collect.accumulators import (
     HistogramAccumulator,
     SumCount,
 )
+from repro.collect.sharding import (
+    DEFAULT_SHARD_BLOCK,
+    ShardPlan,
+    ShardSlice,
+    build_shard_plan,
+)
 from repro.collect.streaming import DEFAULT_CHUNK_SIZE, chunk_array, iter_chunks
 
 __all__ = [
     "CategoryCountAccumulator",
     "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_SHARD_BLOCK",
     "ExactSum",
     "GroupAccumulator",
     "GroupStats",
     "HistogramAccumulator",
+    "ShardPlan",
+    "ShardSlice",
     "SumCount",
+    "build_shard_plan",
     "chunk_array",
     "iter_chunks",
 ]

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List
+from typing import Any, Dict, Iterable, List, Mapping
 
 import numpy as np
 
@@ -81,14 +81,41 @@ class ExactSum:
 
     def _compress(self) -> None:
         if len(self._partials) > _MAX_PARTIALS:
-            hi = math.fsum(self._partials)
-            lo = math.fsum(self._partials + [-hi])
-            self._partials = [p for p in (hi, lo) if p != 0.0]
+            self._partials = self._compacted()
+
+    def _compacted(self) -> List[float]:
+        """The partials reduced to a two-term ``(hi, lo)`` expansion."""
+        hi = math.fsum(self._partials)
+        lo = math.fsum(self._partials + [-hi])
+        return [p for p in (hi, lo) if p != 0.0]
 
     @property
     def value(self) -> float:
         """The accumulated sum (correctly rounded)."""
         return math.fsum(self._partials)
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-friendly snapshot: at most two floats, value-preserving.
+
+        The partial list is compacted to its ``(hi, lo)`` expansion — the
+        same reduction :meth:`merge` applies when the list grows — so a
+        restored accumulator carries the identical sum and keeps the
+        chunking/merge-order invariance contract.
+        """
+        return {"partials": self._compacted()}
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "ExactSum":
+        """Rebuild an accumulator from :meth:`state_dict` output."""
+        out = cls()
+        partials = [float(p) for p in state["partials"]]
+        if not all(math.isfinite(p) for p in partials):
+            raise ValueError("ExactSum requires finite values")
+        out._partials = [p for p in partials if p != 0.0]
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ExactSum(value={self.value!r})"
@@ -144,6 +171,12 @@ class HistogramAccumulator:
         values = np.asarray(values, dtype=float).ravel()
         if values.size == 0:
             return self
+        # BucketGrid.assign validates too; the accumulator-level check is
+        # kept so nothing is counted and no ExactSum partial is recorded
+        # before the whole chunk is known-good, whichever grid implementation
+        # sits underneath — the same error family ExactSum raises
+        if not np.all(np.isfinite(values)):
+            raise ValueError("HistogramAccumulator requires finite values")
         idx = self.grid.assign(values)
         self.counts += np.bincount(idx, minlength=self.grid.n_buckets)
         if self._sum is not None:
@@ -171,6 +204,40 @@ class HistogramAccumulator:
     def counts_float(self) -> np.ndarray:
         """Counts as float64 (what the EM machinery consumes)."""
         return self.counts.astype(float)
+
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-friendly snapshot: grid geometry, integer counts, sum partials."""
+        return {
+            "grid": {
+                "low": self.grid.low,
+                "high": self.grid.high,
+                "n_buckets": self.grid.n_buckets,
+            },
+            "counts": self.counts.tolist(),
+            "n_values": self.n_values,
+            "sum": None if self._sum is None else self._sum.state_dict(),
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "HistogramAccumulator":
+        """Rebuild an accumulator from :meth:`state_dict` output."""
+        grid = BucketGrid(
+            float(state["grid"]["low"]),
+            float(state["grid"]["high"]),
+            int(state["grid"]["n_buckets"]),
+        )
+        out = cls(grid, track_sum=state["sum"] is not None)
+        counts = np.asarray(state["counts"], dtype=np.int64)
+        if counts.shape != (grid.n_buckets,) or np.any(counts < 0):
+            raise ValueError(
+                f"histogram snapshot needs {grid.n_buckets} non-negative "
+                f"counts, got shape {counts.shape}"
+            )
+        out.counts = counts
+        out.n_values = check_integer(state["n_values"], "n_values", minimum=0)
+        if state["sum"] is not None:
+            out._sum = ExactSum.from_state(state["sum"])
+        return out
 
 
 class CategoryCountAccumulator:
@@ -204,6 +271,23 @@ class CategoryCountAccumulator:
 
     def counts_float(self) -> np.ndarray:
         return self.counts.astype(float)
+
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-friendly snapshot of the category counts."""
+        return {"n_categories": self.n_categories, "counts": self.counts.tolist()}
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "CategoryCountAccumulator":
+        """Rebuild an accumulator from :meth:`state_dict` output."""
+        out = cls(int(state["n_categories"]))
+        counts = np.asarray(state["counts"], dtype=np.int64)
+        if counts.shape != (out.n_categories,) or np.any(counts < 0):
+            raise ValueError(
+                f"category snapshot needs {out.n_categories} non-negative "
+                f"counts, got shape {counts.shape}"
+            )
+        out.counts = counts
+        return out
 
 
 @dataclass(frozen=True)
@@ -274,6 +358,37 @@ class GroupAccumulator:
         self._histogram.merge(other._histogram)
         self.n_users += other.n_users
         return self
+
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-friendly snapshot for checkpoints and cross-process transport.
+
+        Carries only sufficient statistics — bucket counts plus the compacted
+        sum partials, never raw reports — so shipping a shard's partial round
+        across a process boundary costs a few kilobytes regardless of how many
+        reports it accumulated.
+        """
+        return {
+            "epsilon": self.epsilon,
+            "n_users": self.n_users,
+            "n_expected_reports": self.n_expected_reports,
+            "histogram": self._histogram.state_dict(),
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "GroupAccumulator":
+        """Rebuild an accumulator from :meth:`state_dict` output."""
+        histogram = HistogramAccumulator.from_state(state["histogram"])
+        if histogram._sum is None:
+            raise ValueError("group snapshot must track the report sum")
+        expected = state["n_expected_reports"]
+        out = cls(
+            float(state["epsilon"]),
+            histogram.grid,
+            n_expected_reports=None if expected is None else int(expected),
+            n_users=int(state["n_users"]),
+        )
+        out._histogram = histogram
+        return out
 
     def stats(self) -> GroupStats:
         """Finalise into :class:`GroupStats` (validates the expected count)."""

@@ -1,0 +1,267 @@
+"""Deterministic shard plans for parallel collection.
+
+A collection round over millions of users is map-reducible by construction:
+every accumulator in :mod:`repro.collect.accumulators` carries an associative
+``merge()``, so disjoint slices of the report stream can be accumulated
+independently and folded back together.  What makes the *parallel* execution
+deterministic is the seeding scheme captured here:
+
+* each group's user range is cut into fixed-size **blocks** of
+  ``block_size`` users, and one independent seed is pre-drawn per block from
+  the master generator, in canonical (group-major, normal-before-byzantine)
+  order — one draw, mirroring the engine's pre-drawn seed matrix;
+* a **shard** is a contiguous run of whole blocks
+  (``numpy.array_split`` over the block index), so every block's reports
+  depend only on its own seed and its users' values, never on which shard or
+  worker processed it.
+
+Because the blocks — not the shards — own the randomness, the merged
+statistics are bit-identical at **any** shard count and any worker count:
+``n_shards`` and the process-pool size are pure execution details, on the
+same footing as the engine's ``n_workers``.  Only ``block_size`` is part of
+the run's identity (it decides how the per-block generators are consumed).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import pickle
+import warnings
+from dataclasses import dataclass
+from typing import Any, Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_integer
+
+#: users per seed block — the granularity of the pre-drawn seed stream
+DEFAULT_SHARD_BLOCK = 65_536
+
+
+def _n_blocks(count: int, block_size: int) -> int:
+    return -(-count // block_size) if count else 0
+
+
+@dataclass(frozen=True)
+class ShardSlice:
+    """One group's share of one shard.
+
+    Attributes
+    ----------
+    group_index:
+        Index of the group this slice belongs to.
+    normal_start, normal_stop:
+        Contiguous range of the group's normal users covered by this shard
+        (indices into the group's normal-value array).
+    normal_seeds:
+        One seed per normal block in the range, in block order.
+    n_byzantine:
+        Number of the group's Byzantine users covered by this shard.
+    byzantine_seeds:
+        One seed per Byzantine block, in block order.
+    """
+
+    group_index: int
+    normal_start: int
+    normal_stop: int
+    normal_seeds: Tuple[int, ...]
+    n_byzantine: int
+    byzantine_seeds: Tuple[int, ...]
+
+    @property
+    def n_normal(self) -> int:
+        return self.normal_stop - self.normal_start
+
+    @property
+    def n_users(self) -> int:
+        return self.n_normal + self.n_byzantine
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic split of per-group user ranges into shards.
+
+    Built by :func:`build_shard_plan`; ``shard(s)`` returns the
+    :class:`ShardSlice` list a worker needs to process shard ``s``.  The
+    pre-drawn block seeds make the merged result independent of ``n_shards``
+    and of how the shards are scheduled across workers.
+    """
+
+    n_shards: int
+    block_size: int
+    normal_counts: Tuple[int, ...]
+    byzantine_counts: Tuple[int, ...]
+    normal_seeds: Tuple[Tuple[int, ...], ...]
+    byzantine_seeds: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.normal_counts)
+
+    def shard(self, shard_index: int) -> List[ShardSlice]:
+        """The per-group slices making up one shard (may be empty)."""
+        if not 0 <= shard_index < self.n_shards:
+            raise IndexError(
+                f"shard index {shard_index} out of range [0, {self.n_shards})"
+            )
+        slices: List[ShardSlice] = []
+        for group in range(self.n_groups):
+            normal_blocks = _shard_block_range(
+                len(self.normal_seeds[group]), self.n_shards, shard_index
+            )
+            byz_blocks = _shard_block_range(
+                len(self.byzantine_seeds[group]), self.n_shards, shard_index
+            )
+            n0, n1 = normal_blocks
+            b0, b1 = byz_blocks
+            normal_start = n0 * self.block_size
+            normal_stop = min(self.normal_counts[group], n1 * self.block_size)
+            byz_start = b0 * self.block_size
+            byz_stop = min(self.byzantine_counts[group], b1 * self.block_size)
+            if normal_start >= normal_stop and byz_start >= byz_stop:
+                continue
+            slices.append(
+                ShardSlice(
+                    group_index=group,
+                    normal_start=normal_start,
+                    normal_stop=max(normal_start, normal_stop),
+                    normal_seeds=self.normal_seeds[group][n0:n1],
+                    n_byzantine=max(0, byz_stop - byz_start),
+                    byzantine_seeds=self.byzantine_seeds[group][b0:b1],
+                )
+            )
+        return slices
+
+    def shards(self) -> List[List[ShardSlice]]:
+        """All shards, in shard order."""
+        return [self.shard(index) for index in range(self.n_shards)]
+
+
+def _shard_block_range(n_blocks: int, n_shards: int, shard_index: int) -> Tuple[int, int]:
+    """Contiguous ``[start, stop)`` block range owned by one shard.
+
+    Matches ``numpy.array_split(arange(n_blocks), n_shards)[shard_index]``:
+    the first ``n_blocks % n_shards`` shards take one extra block.
+    """
+    base, extra = divmod(n_blocks, n_shards)
+    start = shard_index * base + min(shard_index, extra)
+    stop = start + base + (1 if shard_index < extra else 0)
+    return start, stop
+
+
+def build_shard_plan(
+    normal_counts: Sequence[int],
+    byzantine_counts: Sequence[int],
+    n_shards: int,
+    rng: RngLike = None,
+    block_size: int = DEFAULT_SHARD_BLOCK,
+) -> ShardPlan:
+    """Draw the block-seed streams and freeze them into a :class:`ShardPlan`.
+
+    The master generator is consumed exactly once, for a single flat integer
+    draw covering every block in canonical order (group 0's normal blocks,
+    group 0's Byzantine blocks, group 1's normal blocks, ...), so the plan —
+    and hence every downstream report — is a pure function of the generator
+    state, ``block_size`` and the group head-counts.
+    """
+    n_shards = check_integer(n_shards, "n_shards", minimum=1)
+    block_size = check_integer(block_size, "block_size", minimum=1)
+    normal_counts = tuple(
+        check_integer(int(c), "normal count", minimum=0) for c in normal_counts
+    )
+    byzantine_counts = tuple(
+        check_integer(int(c), "byzantine count", minimum=0) for c in byzantine_counts
+    )
+    if len(normal_counts) != len(byzantine_counts):
+        raise ValueError(
+            f"normal_counts and byzantine_counts must align, got "
+            f"{len(normal_counts)} vs {len(byzantine_counts)} groups"
+        )
+    rng = ensure_rng(rng)
+
+    block_counts: List[int] = []
+    for normal, byzantine in zip(normal_counts, byzantine_counts):
+        block_counts.append(_n_blocks(normal, block_size))
+        block_counts.append(_n_blocks(byzantine, block_size))
+    total_blocks = int(sum(block_counts))
+    flat = rng.integers(0, 2**63 - 1, size=total_blocks, dtype=np.int64)
+
+    normal_seeds: List[Tuple[int, ...]] = []
+    byzantine_seeds: List[Tuple[int, ...]] = []
+    offset = 0
+    for index in range(len(normal_counts)):
+        n_blocks = block_counts[2 * index]
+        normal_seeds.append(tuple(int(s) for s in flat[offset : offset + n_blocks]))
+        offset += n_blocks
+        n_blocks = block_counts[2 * index + 1]
+        byzantine_seeds.append(tuple(int(s) for s in flat[offset : offset + n_blocks]))
+        offset += n_blocks
+
+    return ShardPlan(
+        n_shards=n_shards,
+        block_size=block_size,
+        normal_counts=normal_counts,
+        byzantine_counts=byzantine_counts,
+        normal_seeds=tuple(normal_seeds),
+        byzantine_seeds=tuple(byzantine_seeds),
+    )
+
+
+def run_shard_tasks(
+    worker: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    n_workers: int | None,
+    pickle_probe: Any = None,
+) -> List[Any]:
+    """Run shard tasks serially or over a process pool, in task order.
+
+    The shared execution harness behind every ``collect_sharded`` path.
+    Results are identical either way — the pool only changes wall-clock time
+    — because each task is a pure function of its pre-drawn block seeds.
+    ``pickle_probe`` (e.g. a task's config + attack) is test-pickled before a
+    pool is started; unpicklable configurations and pool failures degrade to
+    serial execution with a warning, mirroring the experiment executor.
+
+    A fresh pool is started per call: the intended workload is a handful of
+    very large rounds (pool startup is noise next to a 10^7-user round);
+    sweeps over many small rounds should parallelise across work units with
+    the engine's ``n_workers`` instead.
+    """
+    n_workers = 1 if n_workers is None else int(n_workers)
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    if n_workers > 1 and len(tasks) > 1:
+        try:
+            if pickle_probe is not None:
+                pickle.dumps(pickle_probe)
+        except Exception as error:
+            warnings.warn(
+                f"shard task is not picklable ({error}); running shards "
+                f"serially — use module-level components to enable the "
+                f"process pool",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return [worker(task) for task in tasks]
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(n_workers, len(tasks))
+            ) as pool:
+                return list(pool.map(worker, tasks))
+        except (OSError, concurrent.futures.process.BrokenProcessPool) as error:
+            warnings.warn(
+                f"process pool unavailable ({error}); running shards serially",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+    return [worker(task) for task in tasks]
+
+
+__all__ = [
+    "DEFAULT_SHARD_BLOCK",
+    "ShardPlan",
+    "ShardSlice",
+    "build_shard_plan",
+    "run_shard_tasks",
+]

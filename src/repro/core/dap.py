@@ -34,12 +34,17 @@ reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Literal, Sequence
+from typing import Callable, Iterable, List, Literal, Sequence, Tuple
 
 import numpy as np
 
 from repro.attacks.base import Attack, NoAttack
 from repro.collect.accumulators import GroupAccumulator, GroupStats
+from repro.collect.sharding import (
+    DEFAULT_SHARD_BLOCK,
+    build_shard_plan,
+    run_shard_tasks,
+)
 from repro.collect.streaming import DEFAULT_CHUNK_SIZE
 from repro.core.aggregation import aggregate_means, aggregation_weights
 from repro.core.cemf_star import DEFAULT_SUPPRESSION_FACTOR, run_cemf_star
@@ -385,13 +390,17 @@ class DAPProtocol:
             byz_counts = np.zeros(h, dtype=np.int64)
         remaining = sizes - byz_counts
 
+        # silent attacks (NoAttack) contribute no reports, so the expected
+        # count — which sizes the histogram grid and doubles as a
+        # consistency check — asks the attack for its poison report count
         accumulators = [
             self.group_accumulator(
                 epsilon_t,
-                int(size) * self._reports_per_user(epsilon_t),
+                int(size - byz) * self._reports_per_user(epsilon_t)
+                + attack.n_poison_reports(int(byz) * self._reports_per_user(epsilon_t)),
                 n_users=int(size),
             )
-            for epsilon_t, size in zip(ladder, sizes)
+            for epsilon_t, size, byz in zip(ladder, sizes, byz_counts)
         ]
 
         consumed = 0
@@ -436,6 +445,160 @@ class DAPProtocol:
             ):
                 accumulators[group_index].update(piece)
         return accumulators
+
+    # ------------------------------------------------------------------
+    # sharded collection
+    # ------------------------------------------------------------------
+    def collect_sharded(
+        self,
+        normal_values: np.ndarray,
+        attack: Attack | None = None,
+        n_byzantine: int = 0,
+        rng: RngLike = None,
+        n_shards: int = 1,
+        n_workers: int | None = None,
+        block_size: int = DEFAULT_SHARD_BLOCK,
+    ) -> List[GroupAccumulator]:
+        """Sharded grouping + perturbation: one collection round, many cores.
+
+        The population is assigned to groups with the *same* master-generator
+        permutation draw as :meth:`collect` (group composition is identical
+        bit for bit), then each group's user range is cut into fixed-size
+        blocks with one pre-drawn seed per block
+        (:func:`repro.collect.build_shard_plan`).  A shard — a contiguous run
+        of whole blocks — is processed by the existing chunked perturb/poison
+        path into fresh :class:`~repro.collect.GroupAccumulator` objects, and
+        shard results are folded back with ``merge()``.
+
+        Because the blocks own the randomness, the merged accumulators are
+        bit-identical at any ``n_shards`` and any ``n_workers`` (both are
+        execution details); only ``block_size`` is part of the run identity.
+        Shard results cross process boundaries as accumulator snapshots
+        (bucket counts plus compacted sum partials), never as raw reports.
+
+        Parameters
+        ----------
+        normal_values:
+            The normal users' values (materialised; at 10^7 users this is
+            ~80 MiB — the reports, which would be an order of magnitude
+            larger, are never materialised).
+        attack, n_byzantine, rng:
+            As in :meth:`collect`.
+        n_shards:
+            Number of independent work units to split the round into.
+        n_workers:
+            ``None`` / ``1`` runs the shards in-process; larger values fan
+            them out over a process pool (capped at ``n_shards``).
+        block_size:
+            Users per seed block (identity-relevant; keep the default unless
+            benchmarking).
+        """
+        rng = ensure_rng(rng)
+        attack = attack or NoAttack()
+        normal_values = np.asarray(normal_values, dtype=float).ravel()
+        n_byzantine = check_integer(n_byzantine, "n_byzantine", minimum=0)
+        n_normal = normal_values.size
+        n_total = n_normal + n_byzantine
+        if n_total == 0:
+            raise ValueError("at least one user is required")
+
+        ladder = self.config.budget_ladder
+        h = len(ladder)
+
+        # identical group assignment to collect(): same permutation draw,
+        # same nearly-equal split, members processed in ascending user order
+        user_indices = rng.permutation(n_total)
+        group_values: List[np.ndarray] = []
+        group_byzantine: List[int] = []
+        for piece in np.array_split(user_indices, h):
+            members = np.sort(piece)
+            normal_members = members[members < n_normal]
+            group_values.append(normal_values[normal_members])
+            group_byzantine.append(int(members.size - normal_members.size))
+
+        plan = build_shard_plan(
+            [values.size for values in group_values],
+            group_byzantine,
+            n_shards=n_shards,
+            rng=rng,
+            block_size=block_size,
+        )
+        def expected_reports(group_index: int, n_normal_part: int, n_byz_part: int) -> int:
+            repeats = self._reports_per_user(ladder[group_index])
+            return n_normal_part * repeats + attack.n_poison_reports(
+                n_byz_part * repeats
+            )
+
+        tasks = [
+            _ShardTask(
+                config=self.config,
+                attack=attack,
+                block_size=block_size,
+                groups=tuple(
+                    _ShardGroupPayload(
+                        group_index=piece.group_index,
+                        epsilon=ladder[piece.group_index],
+                        total_expected_reports=expected_reports(
+                            piece.group_index,
+                            group_values[piece.group_index].size,
+                            group_byzantine[piece.group_index],
+                        ),
+                        values=group_values[piece.group_index][
+                            piece.normal_start : piece.normal_stop
+                        ],
+                        normal_seeds=piece.normal_seeds,
+                        n_byzantine=piece.n_byzantine,
+                        byzantine_seeds=piece.byzantine_seeds,
+                    )
+                    for piece in plan.shard(shard_index)
+                ),
+            )
+            for shard_index in range(plan.n_shards)
+        ]
+
+        shard_states = run_shard_tasks(
+            _run_shard,
+            tasks,
+            n_workers,
+            pickle_probe=(self.config, attack),
+        )
+
+        accumulators = [
+            self.group_accumulator(
+                epsilon_t,
+                expected_reports(
+                    index, group_values[index].size, group_byzantine[index]
+                ),
+                n_users=0,
+            )
+            for index, epsilon_t in enumerate(ladder)
+        ]
+        for states in shard_states:
+            for group_index, state in states:
+                accumulators[group_index].merge(GroupAccumulator.from_state(state))
+        return accumulators
+
+    def run_sharded(
+        self,
+        normal_values: np.ndarray,
+        attack: Attack | None = None,
+        n_byzantine: int = 0,
+        rng: RngLike = None,
+        n_shards: int = 1,
+        n_workers: int | None = None,
+        block_size: int = DEFAULT_SHARD_BLOCK,
+    ) -> DAPResult:
+        """One full DAP round through the sharded collection path."""
+        accumulators = self.collect_sharded(
+            normal_values,
+            attack,
+            n_byzantine,
+            rng=rng,
+            n_shards=n_shards,
+            n_workers=n_workers,
+            block_size=block_size,
+        )
+        return self.aggregate_accumulated(accumulators)
 
     # ------------------------------------------------------------------
     # collector side
@@ -695,6 +858,84 @@ class DAPProtocol:
             value_chunks, n_normal, attack, n_byzantine, rng=rng
         )
         return self.aggregate_accumulated(accumulators)
+
+
+# ----------------------------------------------------------------------
+# shard workers (module-level, so tasks pickle cleanly into process pools)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _ShardGroupPayload:
+    """One group's slice of one shard, plus the data needed to process it."""
+
+    group_index: int
+    epsilon: float
+    total_expected_reports: int
+    values: np.ndarray
+    normal_seeds: Tuple[int, ...]
+    n_byzantine: int
+    byzantine_seeds: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """Everything one worker needs to run one shard."""
+
+    config: DAPConfig
+    attack: Attack
+    block_size: int
+    groups: Tuple[_ShardGroupPayload, ...]
+
+
+def _run_shard(task: _ShardTask) -> List[Tuple[int, dict]]:
+    """Process one shard into per-group accumulator snapshots.
+
+    Every block is perturbed (or poisoned) with a fresh generator seeded by
+    its pre-drawn block seed, so the output depends only on the task — never
+    on which process ran it or what ran before.
+    """
+    protocol = DAPProtocol(task.config)
+    block = task.block_size
+    states: List[Tuple[int, dict]] = []
+    for payload in task.groups:
+        mechanism = protocol.mechanism_for(payload.epsilon)
+        repeats = protocol._reports_per_user(payload.epsilon)
+        grid = protocol.group_output_grid(
+            payload.epsilon, max(1, payload.total_expected_reports)
+        )
+        accumulator = GroupAccumulator(
+            payload.epsilon,
+            grid,
+            n_expected_reports=int(payload.values.size) * repeats
+            + task.attack.n_poison_reports(payload.n_byzantine * repeats),
+            n_users=int(payload.values.size) + payload.n_byzantine,
+        )
+        for index, seed in enumerate(payload.normal_seeds):
+            chunk = payload.values[index * block : (index + 1) * block]
+            if not chunk.size:
+                continue
+            accumulator.update(
+                mechanism.perturb(
+                    np.repeat(chunk, repeats), np.random.default_rng(int(seed))
+                )
+            )
+        if payload.n_byzantine:
+            reference = protocol._reference_mean(mechanism)
+            remaining = payload.n_byzantine
+            for seed in payload.byzantine_seeds:
+                n_users_block = min(block, remaining)
+                remaining -= n_users_block
+                if not n_users_block:
+                    continue
+                accumulator.update(
+                    task.attack.poison_reports(
+                        n_users_block * repeats,
+                        mechanism,
+                        reference,
+                        np.random.default_rng(int(seed)),
+                    ).reports
+                )
+        states.append((payload.group_index, accumulator.state_dict()))
+    return states
 
 
 __all__ = [

@@ -143,7 +143,13 @@ def run_emf(
     if tol is None:
         tol = default_tolerance(epsilon)
 
-    result = em_reconstruct(transform.matrix, counts, max_iter=max_iter, tol=tol)
+    result = em_reconstruct(
+        transform.matrix,
+        counts,
+        max_iter=max_iter,
+        tol=tol,
+        indicator_tail=transform.poison_bucket_indices,
+    )
     normal, poison = transform.split_weights(result.weights)
     return EMFResult(
         normal_histogram=normal,

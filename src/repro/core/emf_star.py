@@ -111,6 +111,7 @@ def run_emf_star(
         tol=tol,
         m_step=constrained_m_step(gamma_hat, n_normal),
         fixed_zero=fixed_zero,
+        indicator_tail=transform.poison_bucket_indices,
     )
     normal, poison = transform.split_weights(result.weights)
     return EMFResult(

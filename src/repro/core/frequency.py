@@ -23,11 +23,16 @@ Figure 9(c)(d) evaluates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Literal, Sequence
+from typing import Iterable, List, Literal, Sequence, Tuple
 
 import numpy as np
 
 from repro.collect.accumulators import CategoryCountAccumulator
+from repro.collect.sharding import (
+    DEFAULT_SHARD_BLOCK,
+    build_shard_plan,
+    run_shard_tasks,
+)
 from repro.collect.streaming import DEFAULT_CHUNK_SIZE, iter_chunks
 from repro.ldp.ems import em_reconstruct
 from repro.ldp.krr import KRandomizedResponse
@@ -179,6 +184,66 @@ class FrequencyDAP:
                 )
         return accumulator
 
+    def collect_sharded(
+        self,
+        normal_categories: np.ndarray,
+        poisoned_categories: Sequence[int] = (),
+        n_byzantine: int = 0,
+        rng: RngLike = None,
+        n_shards: int = 1,
+        n_workers: int | None = None,
+        block_size: int = DEFAULT_SHARD_BLOCK,
+    ) -> CategoryCountAccumulator:
+        """Sharded collection into one merged category-count accumulator.
+
+        The categorical counterpart of
+        :meth:`repro.core.dap.DAPProtocol.collect_sharded`: the users are cut
+        into fixed-size blocks with one pre-drawn seed each
+        (:func:`repro.collect.build_shard_plan`), shards — contiguous runs of
+        blocks — are processed independently (optionally over a process
+        pool), and the per-shard counts are folded with ``merge()``.  The
+        merged counts are bit-identical at any ``n_shards`` / ``n_workers``.
+        """
+        rng = ensure_rng(rng)
+        normal_categories = np.asarray(normal_categories, dtype=int).ravel()
+        n_byzantine = check_integer(n_byzantine, "n_byzantine", minimum=0)
+        if n_byzantine and not poisoned_categories:
+            raise ValueError(
+                "poisoned_categories must be provided when n_byzantine > 0"
+            )
+        targets = np.asarray(list(poisoned_categories), dtype=int)
+        plan = build_shard_plan(
+            [normal_categories.size],
+            [n_byzantine],
+            n_shards=n_shards,
+            rng=rng,
+            block_size=block_size,
+        )
+        tasks = []
+        for shard_index in range(plan.n_shards):
+            slices = plan.shard(shard_index)
+            if not slices:
+                continue
+            (piece,) = slices
+            tasks.append(
+                _FrequencyShardTask(
+                    epsilon=self.epsilon,
+                    n_categories=self.n_categories,
+                    categories=normal_categories[
+                        piece.normal_start : piece.normal_stop
+                    ],
+                    normal_seeds=piece.normal_seeds,
+                    n_byzantine=piece.n_byzantine,
+                    byzantine_seeds=piece.byzantine_seeds,
+                    targets=targets,
+                    block_size=block_size,
+                )
+            )
+        accumulator = CategoryCountAccumulator(self.n_categories)
+        for state in run_shard_tasks(_run_frequency_shard, tasks, n_workers):
+            accumulator.merge(CategoryCountAccumulator.from_state(state))
+        return accumulator
+
     # ------------------------------------------------------------------
     # collector side
     # ------------------------------------------------------------------
@@ -205,7 +270,16 @@ class FrequencyDAP:
             from repro.core.emf_star import constrained_m_step
 
             m_step = constrained_m_step(gamma_hat, self.n_categories)
-        return em_reconstruct(transform, counts, m_step=m_step, tol=1e-9, max_iter=10_000)
+        # the poison columns are one-hot on their category row, so EM can use
+        # the split dense + gather/scatter products
+        return em_reconstruct(
+            transform,
+            counts,
+            m_step=m_step,
+            tol=1e-9,
+            max_iter=10_000,
+            indicator_tail=np.asarray(list(poison_set), dtype=np.intp),
+        )
 
     def probe_poisoned_categories(
         self, counts: np.ndarray
@@ -309,6 +383,46 @@ class FrequencyDAP:
         """Simulate one round end to end (collection + estimation)."""
         reports = self.collect(normal_categories, poisoned_categories, n_byzantine, rng)
         return self.estimate(reports)
+
+
+# ----------------------------------------------------------------------
+# shard workers (module-level, so tasks pickle cleanly into process pools)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _FrequencyShardTask:
+    """One shard of a k-RR collection round (picklable)."""
+
+    epsilon: float
+    n_categories: int
+    categories: np.ndarray
+    normal_seeds: Tuple[int, ...]
+    n_byzantine: int
+    byzantine_seeds: Tuple[int, ...]
+    targets: np.ndarray
+    block_size: int
+
+
+def _run_frequency_shard(task: _FrequencyShardTask) -> dict:
+    """Perturb + poison one shard into a category-count snapshot."""
+    mechanism = KRandomizedResponse(task.epsilon, task.n_categories)
+    accumulator = CategoryCountAccumulator(task.n_categories)
+    block = task.block_size
+    for index, seed in enumerate(task.normal_seeds):
+        chunk = task.categories[index * block : (index + 1) * block]
+        if not chunk.size:
+            continue
+        accumulator.update(mechanism.perturb(chunk, np.random.default_rng(int(seed))))
+    remaining = task.n_byzantine
+    for seed in task.byzantine_seeds:
+        n_users_block = min(block, remaining)
+        remaining -= n_users_block
+        if not n_users_block:
+            continue
+        block_rng = np.random.default_rng(int(seed))
+        accumulator.update(
+            task.targets[block_rng.integers(0, task.targets.size, size=n_users_block)]
+        )
+    return accumulator.state_dict()
 
 
 __all__ = ["FrequencyDAP", "FrequencyDAPResult", "ostrich_frequencies"]

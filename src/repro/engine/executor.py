@@ -194,6 +194,17 @@ def run_experiment(
         _report(progress, done, len(units))
     n_workers = resolve_workers(n_workers)
     if n_workers > 1 and len(pending) > 1:
+        collect_workers = getattr(spec, "collect_workers", None)
+        if collect_workers and collect_workers > 1:
+            warnings.warn(
+                f"n_workers={n_workers} and collect_workers="
+                f"{collect_workers} compose multiplicatively: every work "
+                f"unit's collection rounds spawn their own shard pool, up "
+                f"to {n_workers * collect_workers} concurrent processes — "
+                f"prefer one knob unless the machine has cores for both",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         fresh = _run_units_parallel(
             spec, pending, seed_matrix, n_workers, progress, done, len(units)
         )
@@ -234,8 +245,37 @@ def _load_completed_units(
             stacklevel=3,
         )
         return {}
-    if artifact.meta.get("fingerprint") != spec.fingerprint():
+    stored_fingerprint = dict(artifact.meta.get("fingerprint") or {})
+    # artifacts written before chunk_size became an execution detail folded
+    # it into the fingerprint; strip it so those runs stay resumable
+    legacy_chunk_size = stored_fingerprint.pop("chunk_size", None)
+    if stored_fingerprint != spec.fingerprint():
         return {}
+    # artifacts written before execution provenance existed identify their
+    # collection path through that legacy fingerprint key (collect_workers
+    # did not exist yet, so None is exact)
+    stored_execution = artifact.meta.get("execution") or {
+        "chunk_size": legacy_chunk_size,
+        "collect_workers": None,
+    }
+    if (
+        stored_execution != _execution_details(spec)
+        and len(artifact.rows) < len(units)
+    ):
+        # execution knobs never gate reuse (completed records are served
+        # verbatim), but a *partial* artifact's remaining units will now be
+        # computed under a different collection path, whose randomness
+        # stream differs for the same seeds — statistically equivalent, yet
+        # the records are no longer reproducible from one configuration
+        warnings.warn(
+            f"resuming a partial artifact ({len(artifact.rows)} stored rows) "
+            f"recorded under execution settings {stored_execution}, but the "
+            f"pending units will run under {_execution_details(spec)}; "
+            f"completed records are reused verbatim while the remaining ones "
+            f"use the new path's randomness (statistically equivalent draws)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
     by_key: Dict[tuple, SweepRecord] = {
         (record.point_index, record.record.scheme): record.record
         for record in artifact.rows
@@ -249,6 +289,19 @@ def _load_completed_units(
     return completed
 
 
+def _execution_details(spec: ExperimentSpec) -> dict:
+    """The execution knobs recorded in artifacts for provenance.
+
+    Informational only — never compared for record reuse (that is the
+    fingerprint's job); used to warn when a partial artifact is resumed
+    under a different collection path.
+    """
+    return {
+        "chunk_size": spec.chunk_size,
+        "collect_workers": spec.collect_workers,
+    }
+
+
 def _store_records(
     spec: ExperimentSpec, store_path, records: Sequence[Any], units: Sequence[Unit]
 ) -> None:
@@ -259,7 +312,11 @@ def _store_records(
         store_path,
         records,
         point_indices=point_indices,
-        meta={"fingerprint": spec.fingerprint(), "description": spec.description},
+        meta={
+            "fingerprint": spec.fingerprint(),
+            "description": spec.description,
+            "execution": _execution_details(spec),
+        },
     )
 
 

@@ -38,6 +38,7 @@ from repro.datasets.base import NumericalDataset
 from repro.simulation.runner import (
     run_trials_batched,
     run_trials_from_seeds,
+    run_trials_sharded,
     run_trials_streaming,
 )
 from repro.simulation.schemes import Scheme
@@ -83,6 +84,14 @@ class ExperimentSpec:
         is bounded by the chunk size instead of ``n_users``.  Mutually
         exclusive with ``batched``; ``None`` (default) keeps the in-memory
         path.
+    collect_workers:
+        Run trials through the sharded collection path
+        (:func:`repro.simulation.runner.run_trials_sharded`) with this many
+        shard workers per collection round.  A pure execution detail — the
+        shard plan's block seeds own the randomness, so records are
+        bit-identical for any positive value — and therefore *not* part of
+        :meth:`fingerprint`.  Mutually exclusive with ``batched`` and
+        ``chunk_size``.
     seed:
         Default master seed used when the executor is not handed an explicit
         generator.
@@ -109,6 +118,7 @@ class ExperimentSpec:
     )
     batched: bool = False
     chunk_size: int | None = None
+    collect_workers: int | None = None
     seed: int | None = None
     description: str = ""
     fingerprint_extra: Mapping[str, Any] | None = None
@@ -129,8 +139,21 @@ class ExperimentSpec:
             if self.is_point_granular():
                 raise ValueError(
                     f"spec {self.name!r} overrides evaluate_point, which runs "
-                    f"outside the trial runners; chunk_size would be recorded "
-                    f"in the fingerprint but never honoured"
+                    f"outside the trial runners; chunk_size is never honoured"
+                )
+        if self.collect_workers is not None:
+            check_integer(self.collect_workers, "collect_workers", minimum=1)
+            if self.batched or self.chunk_size is not None:
+                raise ValueError(
+                    f"spec {self.name!r} sets collect_workers alongside "
+                    f"batched/chunk_size; the sharded, stacked-trials and "
+                    f"streaming paths are mutually exclusive"
+                )
+            if self.is_point_granular():
+                raise ValueError(
+                    f"spec {self.name!r} overrides evaluate_point, which runs "
+                    f"outside the trial runners; collect_workers is never "
+                    f"honoured"
                 )
         if not self.is_point_granular():
             missing = [
@@ -195,6 +218,12 @@ class ExperimentSpec:
         if self.chunk_size is not None:
             runner = run_trials_streaming
             kwargs["chunk_size"] = self.chunk_size
+        elif self.collect_workers is not None:
+            # n_shards tracks the worker count for scheduling, but the
+            # records do not depend on it (block seeds own the randomness)
+            runner = run_trials_sharded
+            kwargs["n_shards"] = self.collect_workers
+            kwargs["n_workers"] = self.collect_workers
         elif self.batched:
             runner = run_trials_batched
         else:
@@ -240,6 +269,15 @@ class ExperimentSpec:
         Includes a digest of the sweep-point values and the scheme names, so
         an artifact from a *different* sweep of the same shape (e.g. other
         epsilons, or other schemes) can never be mistaken for this one.
+
+        Execution details — ``chunk_size``, ``collect_workers``, and the
+        executor's worker count — are deliberately *not* part of the
+        identity: the accumulators behind the streaming and sharded paths
+        are chunking/merge-invariant, so completed records are reusable
+        verbatim whatever path computes the remaining ones, and a run must
+        stay resumable when only its execution knobs change (e.g. resuming
+        an in-memory run with ``--chunk-size`` to fit a bigger machine's
+        memory budget, or with ``--collect-workers`` to use its cores).
         """
         gamma = self.gamma if isinstance(self.gamma, (int, float)) else "per-point"
         points_digest = hashlib.sha256(
@@ -261,11 +299,6 @@ class ExperimentSpec:
             "batched": bool(self.batched),
             "granularity": "point" if self.is_point_granular() else "scheme",
         }
-        # the streaming path consumes randomness chunk-wise, so the chunk
-        # size changes results; fold it in only when set to keep existing
-        # in-memory artifacts resumable
-        if self.chunk_size is not None:
-            fingerprint["chunk_size"] = int(self.chunk_size)
         if self.fingerprint_extra:
             fingerprint.update(self.fingerprint_extra)
         return fingerprint

@@ -192,6 +192,7 @@ SCENARIO_KEYS = (
     "epsilon_min",
     "batched",
     "chunk_size",
+    "collect_workers",
     "population",
 )
 
@@ -235,6 +236,13 @@ class ScenarioSpec:
         the population — the knob that lets a scenario declare
         ``"population": {"n_users": 5000000}`` and still run.  Mutually
         exclusive with ``batched``.
+    collect_workers:
+        Run every trial through the sharded collection path with this many
+        shard workers, so one collection round uses that many cores.
+        Records are bit-identical for any positive value, so this is a pure
+        execution detail: it is excluded from :meth:`document` (and hence
+        the resume digest), exactly like the executor's ``n_workers``.
+        Mutually exclusive with ``batched`` and ``chunk_size``.
     """
 
     name: str
@@ -251,6 +259,7 @@ class ScenarioSpec:
     input_domain: Tuple[float, float] = (-1.0, 1.0)
     batched: bool = False
     chunk_size: int | None = None
+    collect_workers: int | None = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -289,6 +298,16 @@ class ScenarioSpec:
                     f"'chunk_size'; the stacked-trials and streaming paths "
                     f"are mutually exclusive"
                 )
+        if self.collect_workers is not None:
+            self.collect_workers = check_integer(
+                self.collect_workers, "collect_workers", minimum=1
+            )
+            if self.batched or self.chunk_size is not None:
+                raise ValueError(
+                    f"scenario {self.name!r} sets 'collect_workers' alongside "
+                    f"'batched'/'chunk_size'; the sharded, stacked-trials and "
+                    f"streaming paths are mutually exclusive"
+                )
 
     # ------------------------------------------------------------------
     # construction from documents
@@ -321,7 +340,7 @@ class ScenarioSpec:
             "epsilons": payload["epsilons"],
         }
         for key in ("description", "attacks", "datasets", "gammas", "seed",
-                    "epsilon_min", "batched", "chunk_size"):
+                    "epsilon_min", "batched", "chunk_size", "collect_workers"):
             if key in payload:
                 kwargs[key] = payload[key]
         n_trials = payload.get("trials", payload.get("n_trials"))
@@ -350,9 +369,13 @@ class ScenarioSpec:
 
         Captures every knob that affects results — including seed,
         epsilon_min and per-component params — so its digest identifies the
-        scenario for artifact resume.
+        scenario for artifact resume.  Execution details (``chunk_size``,
+        ``collect_workers``) are deliberately excluded, like the executor's
+        ``n_workers``: completed records are reusable verbatim whichever
+        collection path computes the rest, so a run started in memory must
+        stay resumable with ``--chunk-size`` or ``--collect-workers`` set.
         """
-        document: Dict[str, Any] = {
+        return {
             "name": self.name,
             "description": self.description,
             "schemes": list(self.schemes),
@@ -370,11 +393,6 @@ class ScenarioSpec:
             "epsilon_min": self.epsilon_min,
             "batched": self.batched,
         }
-        if self.chunk_size is not None:
-            # only recorded when set, so pre-streaming scenario digests (and
-            # their resumable artifacts) stay valid
-            document["chunk_size"] = self.chunk_size
-        return document
 
     def digest(self) -> str:
         """Stable hash of :meth:`document` (part of the spec fingerprint)."""
@@ -431,6 +449,7 @@ class ScenarioSpec:
             input_domain=self.input_domain,
             batched=self.batched,
             chunk_size=self.chunk_size,
+            collect_workers=self.collect_workers,
             seed=self.seed,
             fingerprint_extra={"scenario_digest": self.digest()},
         )

@@ -180,6 +180,50 @@ def run_trials_streaming(
     return result
 
 
+def run_trials_sharded(
+    scheme: Scheme,
+    dataset: NumericalDataset,
+    attack: Attack | None,
+    n_users: int,
+    gamma: float,
+    trial_seeds: Sequence[int],
+    input_domain: tuple[float, float] = (-1.0, 1.0),
+    n_shards: int = 1,
+    n_workers: int | None = None,
+) -> TrialResult:
+    """Sharded variant of :func:`run_trials_from_seeds`.
+
+    Populations (and hence the per-trial truths) are drawn exactly as in
+    :func:`run_trials_from_seeds` — same seed, same draw — but the collection
+    round goes through :meth:`~repro.simulation.schemes.Scheme.estimate_sharded`,
+    which for DAP splits the round into block-seeded shards and fans them out
+    over ``n_workers`` processes.  The records are bit-identical for any
+    ``n_shards >= 1`` and any worker count (the shard plan's block seeds, not
+    the shards, own the randomness), so both knobs are pure execution
+    details.
+    """
+    if not scheme.supports_sharding:
+        warnings.warn(
+            f"scheme {scheme.name!r} has no sharded collection path; trials "
+            f"will run single-process through the in-memory estimate "
+            f"(n_shards/n_workers are ignored)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    result = TrialResult(scheme=scheme.name)
+    for seed in trial_seeds:
+        trial_rng = np.random.default_rng(int(seed))
+        population = build_population(
+            dataset, n_users, gamma, rng=trial_rng, input_domain=input_domain
+        )
+        estimate = scheme.estimate_sharded(
+            population, attack, rng=trial_rng, n_shards=n_shards, n_workers=n_workers
+        )
+        result.estimates.append(float(estimate))
+        result.truths.append(population.true_mean)
+    return result
+
+
 def run_trials_batched(
     scheme: Scheme,
     dataset: NumericalDataset,
@@ -267,6 +311,7 @@ __all__ = [
     "run_trials",
     "run_trials_from_seeds",
     "run_trials_batched",
+    "run_trials_sharded",
     "run_trials_streaming",
     "evaluate_schemes",
     "summarize_mse",

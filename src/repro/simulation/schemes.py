@@ -36,11 +36,33 @@ class Scheme(abc.ABC):
     #: schemes with a native chunked collection path)
     supports_streaming: bool = False
 
+    #: whether :meth:`estimate_sharded` actually fans the collection round
+    #: out over shard workers (overridden by schemes with a sharded path)
+    supports_sharding: bool = False
+
     @abc.abstractmethod
     def estimate(
         self, population: Population, attack: Attack | None, rng: RngLike = None
     ) -> float:
         """Run one collection round and return the mean estimate."""
+
+    def estimate_sharded(
+        self,
+        population: Population,
+        attack: Attack | None,
+        rng: RngLike = None,
+        n_shards: int = 1,
+        n_workers: int | None = None,
+    ) -> float:
+        """Run one collection round split into shards (see
+        :meth:`repro.core.dap.DAPProtocol.collect_sharded`).
+
+        Schemes with a map-reducible collection round (DAP) override this to
+        process shards in parallel and fold the per-shard accumulators; the
+        default runs the ordinary single-process :meth:`estimate`, which is
+        correct but ignores ``n_shards`` / ``n_workers``.
+        """
+        return float(self.estimate(population, attack, rng=rng))
 
     def estimate_stream(
         self, stream: PopulationStream, attack: Attack | None, rng: RngLike = None
@@ -112,6 +134,27 @@ class DAPScheme(Scheme):
             attack or NoAttack(),
             stream.n_byzantine,
             rng=rng,
+        )
+        return result.estimate
+
+    supports_sharding = True
+
+    def estimate_sharded(
+        self,
+        population: Population,
+        attack: Attack | None,
+        rng: RngLike = None,
+        n_shards: int = 1,
+        n_workers: int | None = None,
+    ) -> float:
+        """Sharded round: per-block seeded collection, merged accumulators."""
+        result = self.protocol.run_sharded(
+            population.normal_values,
+            attack or NoAttack(),
+            population.n_byzantine,
+            rng=rng,
+            n_shards=n_shards,
+            n_workers=n_workers,
         )
         return result.estimate
 

@@ -75,8 +75,18 @@ class BucketGrid:
         Values outside the domain are clipped to the first / last bucket, which
         matches how the collector treats reports that sit exactly on (or just
         beyond, due to floating point) the domain boundary.
+
+        Raises
+        ------
+        ValueError
+            If any value is NaN or infinite.  NaN would otherwise go through
+            ``astype(int)`` (an undefined conversion) and land in bucket 0,
+            and ±inf would silently be clipped into an edge bucket — either
+            way a corrupt report would be *counted* instead of rejected.
         """
         values = np.asarray(values, dtype=float)
+        if not np.all(np.isfinite(values)):
+            raise ValueError("bucket assignment requires finite values")
         idx = np.floor((values - self.low) / self.width).astype(int)
         return np.clip(idx, 0, self.n_buckets - 1)
 

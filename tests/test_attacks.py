@@ -111,6 +111,14 @@ class TestNoAttack:
         report = NoAttack().poison_reports(100, mech, 0.0, rng)
         assert report.n == 0
 
+    def test_declares_zero_poison_reports(self):
+        # the streaming/sharded collectors size accumulators from this
+        assert NoAttack().n_poison_reports(100) == 0
+
+    def test_real_attacks_declare_one_report_per_user(self):
+        attack = BiasedByzantineAttack(PAPER_POISON_RANGES["[C/2,C]"])
+        assert attack.n_poison_reports(123) == 123
+
 
 class TestBBA:
     def test_reports_in_resolved_range(self, mech, rng):

@@ -114,8 +114,8 @@ class TestChunkSize:
         assert result.returncode == 0, result.stderr
         artifact = load_run(store)
         assert artifact.records
-        # the streaming chunk size is part of the run's identity
-        assert artifact.meta["fingerprint"]["chunk_size"] == 128
+        # the chunk size is an execution detail, not part of the run identity
+        assert "chunk_size" not in artifact.meta["fingerprint"]
 
     def test_chunk_size_flag_matches_scenario_key(self, tmp_path):
         flagged = dict(TINY_SCENARIO, name="s1", schemes=["DAP-EMF"])
@@ -141,6 +141,63 @@ class TestChunkSize:
         path = tmp_path / "batched.json"
         path.write_text(json.dumps(batched))
         result = run_cli("run", str(path), "--chunk-size", "64")
+        assert result.returncode == 1
+        assert "mutually exclusive" in result.stderr
+
+    def test_resume_in_memory_artifact_with_chunk_size(self, tmp_path):
+        """Regression: a completed in-memory run must be resumable (and its
+        records reused verbatim) when ``--chunk-size`` is set afterwards —
+        the chunk size was wrongly folded into the fingerprint and silently
+        refused identical records."""
+        scenario = dict(TINY_SCENARIO, name="resume_stream", schemes=["DAP-EMF"])
+        path = tmp_path / "resume_stream.json"
+        path.write_text(json.dumps(scenario))
+        store = tmp_path / "artifact.json"
+        assert run_cli("run", str(path), "--store", str(store)).returncode == 0
+        before = json.loads(store.read_text())
+        result = run_cli(
+            "resume", str(path), "--store", str(store), "--chunk-size", "64"
+        )
+        assert result.returncode == 0, result.stderr
+        after = json.loads(store.read_text())
+        # every unit was already complete: records reused verbatim under the
+        # same fingerprint; only the informational execution provenance moved
+        assert after["columns"] == before["columns"]
+        assert after["meta"]["fingerprint"] == before["meta"]["fingerprint"]
+        assert after["meta"]["execution"]["chunk_size"] == 64
+
+
+class TestCollectWorkers:
+    def test_collect_workers_matches_serial_bit_for_bit(self, tmp_path):
+        scenario = dict(TINY_SCENARIO, name="shardy", schemes=["DAP-EMF"])
+        path = tmp_path / "shardy.json"
+        path.write_text(json.dumps(scenario))
+        s1, s2 = tmp_path / "w1.json", tmp_path / "w2.json"
+        assert (
+            run_cli(
+                "run", str(path), "--store", str(s1), "--collect-workers", "1"
+            ).returncode
+            == 0
+        )
+        assert (
+            run_cli(
+                "run", str(path), "--store", str(s2), "--collect-workers", "2"
+            ).returncode
+            == 0
+        )
+        a, b = json.loads(s1.read_text()), json.loads(s2.read_text())
+        assert a["columns"] == b["columns"]
+        assert "collect_workers" not in a["meta"]["fingerprint"]
+
+    def test_rejects_bad_collect_workers(self, scenario_file):
+        result = run_cli("run", str(scenario_file), "--collect-workers", "0")
+        assert result.returncode == 2  # argparse usage error
+        assert "positive integer" in result.stderr
+
+    def test_rejects_collect_workers_plus_chunk_size(self, scenario_file):
+        result = run_cli(
+            "run", str(scenario_file), "--collect-workers", "2", "--chunk-size", "64"
+        )
         assert result.returncode == 1
         assert "mutually exclusive" in result.stderr
 

@@ -124,6 +124,16 @@ class TestHistogramAccumulator:
         with pytest.raises(ValueError, match="track_sum"):
             acc.sum
 
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_rejects_non_finite_even_without_sum_tracking(self, bad):
+        """Without ``track_sum`` no ExactSum ever ran, so NaN used to be
+        silently counted into bucket 0 (and ±inf into the edge buckets)."""
+        acc = HistogramAccumulator(BucketGrid(0.0, 1.0, 4), track_sum=False)
+        with pytest.raises(ValueError, match="finite"):
+            acc.update(np.array([0.5, bad]))
+        np.testing.assert_array_equal(acc.counts, np.zeros(4))
+        assert acc.n_values == 0
+
 
 class TestCategoryCountAccumulator:
     def test_matches_bincount(self):
@@ -167,6 +177,77 @@ class TestGroupAccumulator:
         grid = BucketGrid(-3.0, 3.0, 16)
         with pytest.raises(ValueError, match="budgets"):
             GroupAccumulator(1.0, grid).merge(GroupAccumulator(0.5, grid))
+
+
+class TestSnapshots:
+    """state_dict()/from_state() round trips: JSON-safe, value-preserving."""
+
+    def test_exact_sum_round_trip_is_two_floats(self):
+        acc = ExactSum().add(np.geomspace(1e-9, 1e9, 1_000))
+        state = acc.state_dict()
+        assert len(state["partials"]) <= 2
+        assert ExactSum.from_state(state).value == acc.value
+
+    def test_exact_sum_rejects_corrupt_state(self):
+        with pytest.raises(ValueError, match="finite"):
+            ExactSum.from_state({"partials": [1.0, np.nan]})
+
+    def test_histogram_round_trip(self):
+        rng = np.random.default_rng(10)
+        grid = BucketGrid(-2.0, 2.0, 9)
+        acc = HistogramAccumulator(grid, track_sum=True).update(rng.uniform(-2, 2, 700))
+        restored = HistogramAccumulator.from_state(acc.state_dict())
+        assert restored.grid == grid
+        np.testing.assert_array_equal(restored.counts, acc.counts)
+        assert restored.sum == acc.sum
+        assert restored.n_values == acc.n_values
+
+    def test_histogram_round_trip_without_sum(self):
+        acc = HistogramAccumulator(BucketGrid(0.0, 1.0, 4)).update(np.full(5, 0.3))
+        restored = HistogramAccumulator.from_state(acc.state_dict())
+        with pytest.raises(ValueError, match="track_sum"):
+            restored.sum
+        np.testing.assert_array_equal(restored.counts, acc.counts)
+
+    def test_histogram_rejects_wrong_count_shape(self):
+        acc = HistogramAccumulator(BucketGrid(0.0, 1.0, 4))
+        state = acc.state_dict()
+        state["counts"] = [1, 2]
+        with pytest.raises(ValueError, match="non-negative"):
+            HistogramAccumulator.from_state(state)
+
+    def test_category_round_trip(self):
+        acc = CategoryCountAccumulator(5).update(np.array([0, 2, 2, 4]))
+        restored = CategoryCountAccumulator.from_state(acc.state_dict())
+        np.testing.assert_array_equal(restored.counts, acc.counts)
+        assert restored.n_categories == 5
+
+    def test_group_round_trip_is_json_safe_and_merge_compatible(self):
+        import json
+
+        rng = np.random.default_rng(11)
+        grid = BucketGrid(-3.0, 3.0, 12)
+        reports = rng.uniform(-3, 3, 400)
+        acc = GroupAccumulator(0.5, grid, n_expected_reports=800, n_users=200)
+        acc.update(reports[:400])
+        state = json.loads(json.dumps(acc.state_dict()))  # checkpointable
+        restored = GroupAccumulator.from_state(state)
+        assert restored.epsilon == acc.epsilon
+        assert restored.n_users == acc.n_users
+        assert restored.n_expected_reports == 800
+        other = GroupAccumulator(0.5, grid, n_users=200).update(
+            rng.uniform(-3, 3, 400)
+        )
+        stats = restored.merge(other).stats()
+        assert stats.n_reports == 800
+        assert stats.n_users == 400
+
+    def test_group_snapshot_requires_tracked_sum(self):
+        acc = GroupAccumulator(1.0, BucketGrid(-1.0, 1.0, 4))
+        state = acc.state_dict()
+        state["histogram"]["sum"] = None
+        with pytest.raises(ValueError, match="report sum"):
+            GroupAccumulator.from_state(state)
 
 
 class TestChunkedClientPaths:

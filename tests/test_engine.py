@@ -262,6 +262,79 @@ class TestStore:
         with pytest.raises(ValueError, match="not a repro.engine.run"):
             load_run(path)
 
+    def test_partial_resume_under_different_execution_path_warns(
+        self, dataset, tmp_path
+    ):
+        """Execution knobs never gate record reuse, but resuming a *partial*
+        artifact under a different collection path computes the pending
+        units on a different randomness stream — flagged, not refused."""
+        import dataclasses
+        import json
+        import warnings
+
+        path = tmp_path / "run.json"
+        spec = make_spec(dataset, batched=False, schemes=("DAP-EMF", "Ostrich"))
+        first = run_experiment(spec, rng=5, store_path=path)
+
+        # drop one scheme's column: a partial artifact, same fingerprint
+        payload = json.loads(path.read_text())
+        kept = [
+            i for i, s in enumerate(payload["columns"]["scheme"]) if s == "Ostrich"
+        ]
+        payload["columns"] = {
+            key: [column[i] for i in kept]
+            for key, column in payload["columns"].items()
+        }
+        path.write_text(json.dumps(payload))
+
+        streamed = dataclasses.replace(spec, chunk_size=256)
+        with pytest.warns(RuntimeWarning, match="partial artifact"):
+            resumed = run_experiment(streamed, rng=5, store_path=path)
+        assert len(resumed) == len(first)
+        # the completed Ostrich units were served verbatim
+        ostrich = lambda records: [
+            (r.point["epsilon"], repr(r.mse)) for r in records if r.scheme == "Ostrich"
+        ]
+        assert ostrich(resumed) == ostrich(first)
+
+        # a complete artifact under a different path resumes silently
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            run_experiment(spec, rng=5, store_path=path)
+
+    def test_legacy_chunk_size_fingerprint_stays_resumable(
+        self, dataset, tmp_path, monkeypatch
+    ):
+        """Artifacts written when chunk_size was (wrongly) part of the
+        fingerprint, and before execution provenance existed, must still be
+        served — the legacy key is stripped before comparison."""
+        import dataclasses
+        import json
+
+        path = tmp_path / "run.json"
+        spec = make_spec(dataset, batched=False)
+        first = run_experiment(
+            dataclasses.replace(spec, chunk_size=256), rng=5, store_path=path
+        )
+        payload = json.loads(path.read_text())
+        payload["meta"]["fingerprint"]["chunk_size"] = 256  # legacy shape
+        del payload["meta"]["execution"]
+        path.write_text(json.dumps(payload))
+
+        calls = []
+        original = ExperimentSpec.evaluate_unit
+
+        def counting(self, unit, seeds):
+            calls.append(unit)
+            return original(self, unit, seeds)
+
+        monkeypatch.setattr(ExperimentSpec, "evaluate_unit", counting)
+        resumed = run_experiment(
+            dataclasses.replace(spec, chunk_size=256), rng=5, store_path=path
+        )
+        assert calls == []  # everything served despite the legacy fingerprint
+        assert record_key(resumed) == record_key(first)
+
 
 class TestSpecValidation:
     def test_missing_factories_rejected(self):

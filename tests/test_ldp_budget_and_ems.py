@@ -152,6 +152,65 @@ class TestEMReconstruct:
         assert all(b >= a - 1e-9 for a, b in zip(lls, lls[1:]))
 
 
+class TestIndicatorTail:
+    """The split dense + gather/scatter products for one-hot tail columns."""
+
+    @staticmethod
+    def _one_hot_problem(rng, d_out=320, d_dense=24, n_tail=120):
+        dense = rng.random((d_out, d_dense))
+        dense /= dense.sum(axis=0, keepdims=True)
+        tail_rows = rng.choice(d_out, size=n_tail, replace=False)
+        tail_block = np.zeros((d_out, n_tail))
+        tail_block[tail_rows, np.arange(n_tail)] = 1.0
+        transform = np.hstack([dense, tail_block])
+        counts = rng.integers(1, 200, d_out).astype(float)
+        return transform, counts, tail_rows
+
+    def test_matches_dense_path(self):
+        transform, counts, tail = self._one_hot_problem(np.random.default_rng(1))
+        assert tail.size * transform.shape[0] >= 1 << 14  # above the cutover
+        dense = em_reconstruct(transform, counts, max_iter=200, tol=1e-9)
+        split = em_reconstruct(
+            transform, counts, max_iter=200, tol=1e-9, indicator_tail=tail
+        )
+        np.testing.assert_allclose(split.weights, dense.weights, rtol=1e-9, atol=1e-12)
+        assert split.log_likelihood == pytest.approx(dense.log_likelihood)
+
+    def test_small_problems_fall_back_to_dense_bit_for_bit(self):
+        rng = np.random.default_rng(2)
+        transform, counts, tail = self._one_hot_problem(
+            rng, d_out=24, d_dense=6, n_tail=8
+        )
+        dense = em_reconstruct(transform, counts, max_iter=100, tol=1e-9)
+        split = em_reconstruct(
+            transform, counts, max_iter=100, tol=1e-9, indicator_tail=tail
+        )
+        np.testing.assert_array_equal(split.weights, dense.weights)
+        assert split.log_likelihood == dense.log_likelihood
+
+    def test_rejects_columns_that_are_not_one_hot(self):
+        rng = np.random.default_rng(3)
+        transform, counts, tail = self._one_hot_problem(rng)
+        broken = transform.copy()
+        broken[tail[0], transform.shape[1] - tail.size] = 0.5
+        with pytest.raises(ValueError, match="indicator row"):
+            em_reconstruct(broken, counts, indicator_tail=tail)
+
+    def test_rejects_duplicate_tail_rows(self):
+        rng = np.random.default_rng(4)
+        transform, counts, tail = self._one_hot_problem(rng)
+        tail = tail.copy()
+        tail[1] = tail[0]
+        with pytest.raises(ValueError, match="unique"):
+            em_reconstruct(transform, counts, indicator_tail=tail)
+
+    def test_rejects_oversized_tail(self):
+        with pytest.raises(ValueError, match="only has"):
+            em_reconstruct(
+                np.eye(300), np.ones(300), indicator_tail=np.arange(301)
+            )
+
+
 class TestSmoothing:
     def test_preserves_mass(self):
         histogram = np.array([0.0, 1.0, 0.0, 0.0])

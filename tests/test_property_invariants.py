@@ -14,7 +14,14 @@ from hypothesis import strategies as st
 
 from repro.attacks import BiasedByzantineAttack, GeneralByzantineAttack, PoisonRange
 from repro.attacks.reduction import reduce_gba_to_bba, total_deviation
-from repro.collect import ExactSum, chunk_array
+from repro.collect import (
+    CategoryCountAccumulator,
+    ExactSum,
+    GroupAccumulator,
+    HistogramAccumulator,
+    chunk_array,
+)
+from repro.utils.discretization import BucketGrid
 from repro.core.aggregation import aggregation_weights
 from repro.core.emf import run_emf
 from repro.core.emf_star import run_emf_star
@@ -223,6 +230,142 @@ class TestStreamingSumInvariants:
         assert corrected_mean_from_stats(
             float(reports.sum()), reports.size, gamma, poison_mean
         ) == corrected_mean(reports, gamma, poison_mean)
+
+
+def _random_partition(rng: np.random.Generator, n: int, n_parts: int):
+    """Random (possibly empty-part) partition of ``range(n)`` into slices."""
+    cuts = np.sort(rng.integers(0, n + 1, size=max(0, n_parts - 1)))
+    bounds = np.concatenate([[0], cuts, [n]])
+    return [(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:])]
+
+
+class TestShardMergeInvariants:
+    """Any partition of a report stream, accumulated per shard and merged in
+    any order — with a snapshot round-trip in between — is bit-identical to
+    one-shot accumulation, for all four accumulators."""
+
+    @given(
+        seed=st.integers(0, 1_000),
+        n=st.integers(1, 2_000),
+        n_parts=st.integers(1, 12),
+        scale=st.floats(1e-3, 1e6),
+        snapshot=st.booleans(),
+    )
+    @settings(max_examples=60, **COMMON_SETTINGS)
+    def test_exact_sum_partition_merge_any_order(
+        self, seed, n, n_parts, scale, snapshot
+    ):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(scale=scale, size=n)
+        reference = ExactSum().add(values).value
+        parts = [
+            ExactSum().add(values[a:b])
+            for a, b in _random_partition(rng, n, n_parts)
+        ]
+        if snapshot:
+            parts = [ExactSum.from_state(part.state_dict()) for part in parts]
+        rng.shuffle(parts)
+        merged = parts[0]
+        for part in parts[1:]:
+            merged.merge(part)
+        assert merged.value == reference
+
+    @given(
+        seed=st.integers(0, 1_000),
+        n=st.integers(1, 1_500),
+        n_parts=st.integers(1, 10),
+        snapshot=st.booleans(),
+    )
+    @settings(max_examples=40, **COMMON_SETTINGS)
+    def test_histogram_partition_merge_any_order(self, seed, n, n_parts, snapshot):
+        rng = np.random.default_rng(seed)
+        grid = BucketGrid(-2.0, 2.0, 23)
+        values = rng.uniform(-2.5, 2.5, n)
+        reference = HistogramAccumulator(grid, track_sum=True).update(values)
+        parts = [
+            HistogramAccumulator(grid, track_sum=True).update(values[a:b])
+            for a, b in _random_partition(rng, n, n_parts)
+        ]
+        if snapshot:
+            parts = [HistogramAccumulator.from_state(p.state_dict()) for p in parts]
+        rng.shuffle(parts)
+        merged = parts[0]
+        for part in parts[1:]:
+            merged.merge(part)
+        np.testing.assert_array_equal(merged.counts, reference.counts)
+        assert merged.sum == reference.sum
+        assert merged.n_values == reference.n_values
+
+    @given(
+        seed=st.integers(0, 1_000),
+        n=st.integers(1, 1_500),
+        n_parts=st.integers(1, 10),
+        k=st.integers(2, 9),
+        snapshot=st.booleans(),
+    )
+    @settings(max_examples=40, **COMMON_SETTINGS)
+    def test_category_counts_partition_merge_any_order(
+        self, seed, n, n_parts, k, snapshot
+    ):
+        rng = np.random.default_rng(seed)
+        reports = rng.integers(0, k, n)
+        reference = CategoryCountAccumulator(k).update(reports)
+        parts = [
+            CategoryCountAccumulator(k).update(reports[a:b])
+            for a, b in _random_partition(rng, n, n_parts)
+        ]
+        if snapshot:
+            parts = [
+                CategoryCountAccumulator.from_state(p.state_dict()) for p in parts
+            ]
+        rng.shuffle(parts)
+        merged = parts[0]
+        for part in parts[1:]:
+            merged.merge(part)
+        np.testing.assert_array_equal(merged.counts, reference.counts)
+
+    @given(
+        seed=st.integers(0, 1_000),
+        n=st.integers(1, 1_500),
+        n_parts=st.integers(1, 10),
+        snapshot=st.booleans(),
+    )
+    @settings(max_examples=40, **COMMON_SETTINGS)
+    def test_group_accumulator_partition_merge_any_order(
+        self, seed, n, n_parts, snapshot
+    ):
+        rng = np.random.default_rng(seed)
+        grid = BucketGrid(-3.0, 3.0, 17)
+        reports = rng.uniform(-3, 3, n)
+        reference = GroupAccumulator(
+            0.5, grid, n_expected_reports=n, n_users=n
+        ).update(reports).stats()
+        partition = _random_partition(rng, n, n_parts)
+        parts = [
+            GroupAccumulator(0.5, grid, n_users=b - a).update(reports[a:b])
+            for a, b in partition
+        ]
+        if snapshot:
+            parts = [GroupAccumulator.from_state(p.state_dict()) for p in parts]
+        rng.shuffle(parts)
+        merged = GroupAccumulator(0.5, grid, n_expected_reports=n)
+        for part in parts:
+            merged.merge(part)
+        stats = merged.stats()
+        assert stats.report_sum == reference.report_sum
+        assert stats.n_users == reference.n_users
+        np.testing.assert_array_equal(stats.output_counts, reference.output_counts)
+
+    @given(seed=st.integers(0, 500), n=st.integers(0, 500), scale=st.floats(1e-3, 1e9))
+    @settings(max_examples=60, **COMMON_SETTINGS)
+    def test_exact_sum_snapshot_round_trip_preserves_value(self, seed, n, scale):
+        values = np.random.default_rng(seed).normal(scale=scale, size=n)
+        acc = ExactSum().add(values)
+        restored = ExactSum.from_state(acc.state_dict())
+        assert restored.value == acc.value
+        # a restored accumulator keeps accumulating identically
+        more = np.random.default_rng(seed + 1).normal(scale=scale, size=16)
+        assert restored.add(more).value == ExactSum().add(values).add(more).value
 
 
 class TestTheorem1Invariant:

@@ -1,0 +1,306 @@
+"""Sharded collection: plan determinism and the bit-identity contract.
+
+The sharded path rests on two guarantees, both enforced here:
+
+* **plan invariance** — the block-seed streams drawn by
+  :func:`repro.collect.build_shard_plan` do not depend on ``n_shards``, so
+  the merged accumulators of ``collect_sharded`` are bit-identical at any
+  shard count and any worker count;
+* **accumulate/merge equivalence** — sharding a report stream into
+  contiguous slices, accumulating each independently and folding with
+  ``merge()`` yields statistics bit-identical to the one-shot chunked
+  (``collect_stream``-style) accumulation and to the in-memory
+  ``DAPProtocol.aggregate`` on the same reports, for all three estimators
+  and the k-RR frequency route.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import BiasedByzantineAttack, PoisonRange
+from repro.collect import (
+    CategoryCountAccumulator,
+    GroupAccumulator,
+    build_shard_plan,
+    chunk_array,
+)
+from repro.core.dap import DAPConfig, DAPProtocol
+from repro.core.frequency import FrequencyDAP
+from repro.datasets.synthetic import uniform_dataset
+from repro.simulation.runner import run_trials_from_seeds, run_trials_sharded
+from repro.simulation.schemes import make_scheme
+
+ATTACK = BiasedByzantineAttack(PoisonRange.of_c(0.5, 1.0))
+SHARD_COUNTS = (1, 2, 5)
+
+
+class TestShardPlan:
+    def test_seeds_do_not_depend_on_shard_count(self):
+        plans = [
+            build_shard_plan([1_000, 900], [100, 50], n_shards=k, rng=7, block_size=64)
+            for k in SHARD_COUNTS
+        ]
+        for plan in plans[1:]:
+            assert plan.normal_seeds == plans[0].normal_seeds
+            assert plan.byzantine_seeds == plans[0].byzantine_seeds
+
+    def test_shards_cover_every_block_exactly_once(self):
+        plan = build_shard_plan([1_000, 77], [130, 0], n_shards=4, rng=3, block_size=32)
+        for group, (n_normal, n_byz) in enumerate(zip([1_000, 77], [130, 0])):
+            normal_ranges, byz_users, normal_seeds, byz_seeds = [], 0, [], []
+            for shard in plan.shards():
+                for piece in shard:
+                    if piece.group_index != group:
+                        continue
+                    if piece.n_normal:
+                        normal_ranges.append((piece.normal_start, piece.normal_stop))
+                    normal_seeds.extend(piece.normal_seeds)
+                    byz_users += piece.n_byzantine
+                    byz_seeds.extend(piece.byzantine_seeds)
+            covered = sorted(normal_ranges)
+            assert sum(stop - start for start, stop in covered) == n_normal
+            # contiguous, non-overlapping, in order
+            position = 0
+            for start, stop in covered:
+                assert start == position
+                position = stop
+            assert byz_users == n_byz
+            assert tuple(normal_seeds) == plan.normal_seeds[group]
+            assert tuple(byz_seeds) == plan.byzantine_seeds[group]
+
+    def test_block_ranges_match_array_split(self):
+        from repro.collect.sharding import _shard_block_range
+
+        for n_blocks in (0, 1, 7, 16):
+            for n_shards in (1, 3, 5, 16):
+                pieces = np.array_split(np.arange(n_blocks), n_shards)
+                for index, piece in enumerate(pieces):
+                    start, stop = _shard_block_range(n_blocks, n_shards, index)
+                    np.testing.assert_array_equal(np.arange(start, stop), piece)
+
+    def test_rejects_misaligned_groups(self):
+        with pytest.raises(ValueError, match="align"):
+            build_shard_plan([10], [1, 2], n_shards=1, rng=0)
+
+
+class TestDAPShardedBitIdentity:
+    @pytest.mark.parametrize(
+        "estimator, seed", [("emf", 11), ("emf_star", 22), ("cemf_star", 33)]
+    )
+    def test_invariant_to_shard_and_worker_count(self, estimator, seed):
+        protocol = DAPProtocol(DAPConfig(epsilon=1.0, estimator=estimator))
+        rng = np.random.default_rng(seed)
+        values = rng.uniform(-0.8, 0.8, 6_000)
+        reference = None
+        for n_shards in SHARD_COUNTS:
+            result = protocol.run_sharded(
+                values,
+                ATTACK,
+                2_000,
+                rng=np.random.default_rng(seed),
+                n_shards=n_shards,
+                block_size=512,
+            )
+            if reference is None:
+                reference = result
+                continue
+            assert result.estimate == reference.estimate
+            assert result.gamma_hat == reference.gamma_hat
+            assert result.poisoned_side == reference.poisoned_side
+            np.testing.assert_array_equal(result.weights, reference.weights)
+        pooled = protocol.run_sharded(
+            values,
+            ATTACK,
+            2_000,
+            rng=np.random.default_rng(seed),
+            n_shards=5,
+            n_workers=2,
+            block_size=512,
+        )
+        assert pooled.estimate == reference.estimate
+        assert pooled.gamma_hat == reference.gamma_hat
+
+    @pytest.mark.parametrize(
+        "estimator, seed", [("emf", 101), ("emf_star", 202), ("cemf_star", 303)]
+    )
+    def test_shard_merge_matches_stream_and_in_memory_aggregation(
+        self, estimator, seed
+    ):
+        """Contiguous shards of the same reports, accumulated independently
+        and merged, aggregate bit-identically to the chunked
+        (``collect_stream``-style) accumulation and to the in-memory path."""
+        protocol = DAPProtocol(DAPConfig(epsilon=1.0, estimator=estimator))
+        rng = np.random.default_rng(seed)
+        values = rng.uniform(-0.8, 0.8, 4_000)
+        groups = protocol.collect(values, ATTACK, 1_500, rng=rng)
+        in_memory = protocol.aggregate(groups)
+
+        def fresh(group):
+            return protocol.group_accumulator(
+                group.epsilon, group.n_reports, n_users=group.n_users
+            )
+
+        # collect_stream-style accumulation: one accumulator fed in chunks
+        streamed = [
+            fresh(group).update_stream(chunk_array(group.reports, 997))
+            for group in groups
+        ]
+        stream_result = protocol.aggregate_accumulated(streamed)
+
+        for n_shards in SHARD_COUNTS:
+            merged = []
+            for group in groups:
+                accumulator = fresh(group)
+                for piece in np.array_split(group.reports, n_shards):
+                    shard_acc = GroupAccumulator(
+                        group.epsilon, accumulator.output_grid
+                    )
+                    shard_acc.update(piece)
+                    accumulator.merge(
+                        GroupAccumulator.from_state(shard_acc.state_dict())
+                    )
+                merged.append(accumulator)
+            sharded = protocol.aggregate_accumulated(merged)
+            for result in (stream_result, sharded):
+                assert result.estimate == in_memory.estimate
+                assert result.gamma_hat == in_memory.gamma_hat
+                assert result.poisoned_side == in_memory.poisoned_side
+                np.testing.assert_array_equal(result.weights, in_memory.weights)
+
+    def test_group_composition_matches_collect(self):
+        protocol = DAPProtocol(DAPConfig(epsilon=1.0))
+        values = np.random.default_rng(8).uniform(-0.5, 0.5, 3_210)
+        accumulators = protocol.collect_sharded(
+            values, ATTACK, 1_111, rng=np.random.default_rng(8), n_shards=3,
+            block_size=256,
+        )
+        groups = protocol.collect(values, ATTACK, 1_111, rng=np.random.default_rng(8))
+        assert [a.n_users for a in accumulators] == [g.n_users for g in groups]
+        assert [a.n_reports for a in accumulators] == [g.n_reports for g in groups]
+
+    def test_silent_attack_with_byzantine_users_completes(self):
+        """NoAttack submits zero reports however many Byzantine users exist
+        (the gamma-control configuration); the expected-report sizing must
+        ask the attack instead of assuming one report per user."""
+        from repro.attacks.base import NoAttack
+
+        protocol = DAPProtocol(DAPConfig(epsilon=0.5))
+        values = np.random.default_rng(0).uniform(-0.5, 0.5, 225)
+        accumulators = protocol.collect_sharded(
+            values, NoAttack(), 75, rng=1, n_shards=2, block_size=64
+        )
+        repeats = [
+            protocol._reports_per_user(eps) for eps in protocol.config.budget_ladder
+        ]
+        normal_users = sum(a.n_users for a in accumulators) - 75
+        assert sum(a.n_reports // r for a, r in zip(accumulators, repeats)) == normal_users
+        protocol.aggregate_accumulated(accumulators)  # finalises cleanly
+
+    def test_estimate_lands_near_truth(self):
+        protocol = DAPProtocol(DAPConfig(epsilon=2.0, estimator="cemf_star"))
+        values = np.random.default_rng(9).uniform(0.1, 0.5, 20_000)
+        result = protocol.run_sharded(
+            values, ATTACK, 5_000, rng=9, n_shards=4, block_size=4_096
+        )
+        assert abs(result.estimate - values.mean()) < 0.1
+        assert 0.1 < result.gamma_hat < 0.35
+
+
+class TestFrequencySharded:
+    def test_counts_invariant_to_shard_and_worker_count(self):
+        dap = FrequencyDAP(epsilon=1.0, n_categories=8, estimator="emf_star")
+        normal = np.random.default_rng(5).integers(0, 8, 4_000)
+        reference = dap.collect_sharded(
+            normal, (3,), 900, rng=np.random.default_rng(0), n_shards=1,
+            block_size=512,
+        )
+        for n_shards in SHARD_COUNTS[1:]:
+            counts = dap.collect_sharded(
+                normal, (3,), 900, rng=np.random.default_rng(0),
+                n_shards=n_shards, block_size=512,
+            )
+            np.testing.assert_array_equal(counts.counts, reference.counts)
+        pooled = dap.collect_sharded(
+            normal, (3,), 900, rng=np.random.default_rng(0), n_shards=5,
+            n_workers=2, block_size=512,
+        )
+        np.testing.assert_array_equal(pooled.counts, reference.counts)
+        assert reference.n_reports == 4_900
+
+    def test_sharded_counts_estimate_matches_report_path(self):
+        """Sharding the counts of a fixed report stream changes nothing:
+        the estimate is bit-identical to ``estimate`` on the raw reports."""
+        rng = np.random.default_rng(6)
+        dap = FrequencyDAP(epsilon=1.0, n_categories=6)
+        reports = dap.collect(rng.integers(0, 6, 3_000), (2,), 700, rng=rng)
+        reference = dap.estimate(reports)
+        for n_shards in SHARD_COUNTS:
+            accumulator = CategoryCountAccumulator(6)
+            for piece in np.array_split(reports, n_shards):
+                shard = CategoryCountAccumulator(6).update(piece)
+                accumulator.merge(CategoryCountAccumulator.from_state(shard.state_dict()))
+            result = dap.estimate_from_counts(accumulator)
+            np.testing.assert_array_equal(result.frequencies, reference.frequencies)
+            assert result.poisoned_categories == reference.poisoned_categories
+            assert result.gamma_hat == reference.gamma_hat
+
+    def test_requires_targets_with_byzantine_users(self):
+        dap = FrequencyDAP(epsilon=1.0, n_categories=4)
+        with pytest.raises(ValueError, match="poisoned_categories"):
+            dap.collect_sharded(np.zeros(10, dtype=int), (), 5, rng=0)
+
+
+class TestShardedTrialPath:
+    def test_truths_match_the_in_memory_runner_exactly(self):
+        dataset = uniform_dataset(n_samples=2_000, rng=0)
+        scheme = make_scheme("DAP-EMF", epsilon=1.0)
+        sharded = run_trials_sharded(
+            scheme, dataset, ATTACK, n_users=2_000, gamma=0.25,
+            trial_seeds=[11, 22], n_shards=3,
+        )
+        in_memory = run_trials_from_seeds(
+            scheme, dataset, ATTACK, n_users=2_000, gamma=0.25,
+            trial_seeds=[11, 22],
+        )
+        # same seeds, same population draw: the ground truths pair exactly
+        assert sharded.truths == in_memory.truths
+        assert sharded.mse < 1.0
+
+    def test_records_invariant_to_worker_count(self):
+        dataset = uniform_dataset(n_samples=1_500, rng=0)
+        scheme = make_scheme("DAP-CEMF*", epsilon=1.0)
+        results = [
+            run_trials_sharded(
+                scheme, dataset, ATTACK, n_users=1_500, gamma=0.2,
+                trial_seeds=[7], n_shards=shards, n_workers=workers,
+            )
+            for shards, workers in ((1, None), (4, None), (4, 2))
+        ]
+        assert results[0].estimates == results[1].estimates == results[2].estimates
+
+    def test_non_sharding_scheme_warns(self):
+        dataset = uniform_dataset(n_samples=500, rng=0)
+        scheme = make_scheme("Trimming", epsilon=1.0)
+        assert not scheme.supports_sharding
+        with pytest.warns(RuntimeWarning, match="no sharded collection path"):
+            run_trials_sharded(
+                scheme, dataset, None, n_users=500, gamma=0.0,
+                trial_seeds=[1], n_shards=4,
+            )
+
+    def test_fallback_matches_in_memory_runner(self):
+        dataset = uniform_dataset(n_samples=1_000, rng=0)
+        scheme = make_scheme("Ostrich", epsilon=1.0)
+        with pytest.warns(RuntimeWarning, match="no sharded collection path"):
+            fallback = run_trials_sharded(
+                scheme, dataset, None, n_users=1_000, gamma=0.0,
+                trial_seeds=[5, 6], n_shards=4,
+            )
+        in_memory = run_trials_from_seeds(
+            scheme, dataset, None, n_users=1_000, gamma=0.0, trial_seeds=[5, 6]
+        )
+        # the default estimate_sharded defers to estimate: identical records
+        assert fallback.estimates == in_memory.estimates
+        assert fallback.truths == in_memory.truths

@@ -147,6 +147,20 @@ class TestCollectStream:
         assert abs(result.estimate - values.mean()) < 0.1
         assert 0.1 < result.gamma_hat < 0.35
 
+    def test_silent_attack_with_byzantine_users_completes(self):
+        """Regression: NoAttack + n_byzantine > 0 used to fail the expected-
+        report consistency check (the sizing assumed one poison report per
+        Byzantine user)."""
+        from repro.attacks.base import NoAttack
+
+        protocol = DAPProtocol(DAPConfig(epsilon=0.5))
+        values = np.random.default_rng(0).uniform(-0.5, 0.5, 225)
+        accumulators = protocol.collect_stream(
+            chunk_array(values, 50), 225, NoAttack(), 75, rng=1
+        )
+        assert sum(a.n_users for a in accumulators) == 300
+        protocol.aggregate_accumulated(accumulators)  # finalises cleanly
+
     def test_wrong_declared_n_normal_raises(self):
         protocol = DAPProtocol(DAPConfig(epsilon=1.0))
         values = np.zeros(100)
@@ -238,7 +252,11 @@ class TestEngineChunkSize:
                 trial_seeds=[1], chunk_size=100,
             )
 
-    def test_chunk_size_changes_fingerprint_only_when_set(self):
+    def test_chunk_size_never_enters_the_fingerprint(self):
+        """Regression: the chunk size is an execution detail (the streaming
+        accumulators are chunking-invariant), so a run must be resumable with
+        a different ``--chunk-size`` — exactly like ``n_workers``."""
+
         def spec(**kwargs):
             return ExperimentSpec(
                 name="x",
@@ -253,8 +271,8 @@ class TestEngineChunkSize:
 
         base = spec().fingerprint()
         assert "chunk_size" not in base
-        streamed = spec(chunk_size=512).fingerprint()
-        assert streamed["chunk_size"] == 512
+        assert spec(chunk_size=512).fingerprint() == base
+        assert spec(collect_workers=2).fingerprint() == base
 
     def test_scenario_rejects_batched_plus_chunk_size(self):
         with pytest.raises(ValueError, match="mutually exclusive"):
@@ -266,9 +284,11 @@ class TestEngineChunkSize:
                 chunk_size=64,
             )
 
-    def test_scenario_digest_unchanged_without_chunk_size(self):
+    def test_scenario_digest_ignores_execution_details(self):
         kwargs = dict(name="x", schemes=["Ostrich"], epsilons=[1.0])
-        assert ScenarioSpec(**kwargs).digest() != ScenarioSpec(
-            **kwargs, chunk_size=64
-        ).digest()
-        assert "chunk_size" not in ScenarioSpec(**kwargs).document()
+        base = ScenarioSpec(**kwargs)
+        assert ScenarioSpec(**kwargs, chunk_size=64).digest() == base.digest()
+        assert ScenarioSpec(**kwargs, collect_workers=4).digest() == base.digest()
+        document = base.document()
+        assert "chunk_size" not in document
+        assert "collect_workers" not in document

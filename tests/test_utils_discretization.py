@@ -56,6 +56,16 @@ class TestAssignment:
         values = np.linspace(-1, 1, 100)
         assert grid.counts(values).sum() == 100
 
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_non_finite_values_rejected(self, bad):
+        """NaN previously went through ``astype(int)`` (undefined) and was
+        clipped into bucket 0; ±inf silently landed in an edge bucket."""
+        grid = BucketGrid(0.0, 1.0, 4)
+        with pytest.raises(ValueError, match="finite"):
+            grid.assign(np.array([0.5, bad]))
+        with pytest.raises(ValueError, match="finite"):
+            grid.counts(np.array([bad]))
+
     def test_frequencies_sum_to_one(self):
         grid = BucketGrid(-1.0, 1.0, 8)
         values = np.random.default_rng(0).uniform(-1, 1, 50)
