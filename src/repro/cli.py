@@ -22,6 +22,7 @@ import sys
 import time
 from typing import List, Sequence
 
+from repro.core.probing import PROBE_STRATEGIES
 from repro.registry import ALL_REGISTRIES
 from repro.scenario import ScenarioSpec, format_scenario_records, run_scenario
 
@@ -94,6 +95,8 @@ def _execute(args: argparse.Namespace, resume: bool, require_artifact: bool) -> 
         overrides["chunk_size"] = args.chunk_size
     if args.collect_workers is not None:
         overrides["collect_workers"] = args.collect_workers
+    if args.probe_strategy is not None:
+        overrides["probe_strategy"] = args.probe_strategy
     if overrides:
         # rebuild (rather than mutate) so the spec's own validation runs on
         # the overrides; both knobs are execution details, excluded from the
@@ -113,10 +116,13 @@ def _execute(args: argparse.Namespace, resume: bool, require_artifact: bool) -> 
         store_path=store,
         resume=resume,
         progress=None if args.quiet else _ProgressPrinter(scenario.name),
+        profile=args.profile,
     )
     if not records:
         print(f"error: scenario {scenario.name!r} produced no records", file=sys.stderr)
         return 2
+    if args.profile:
+        _print_profile(store)
     print(
         f"{scenario.name}: {len(records)} records "
         f"({len(set(str(r.point) for r in records))} grid points x "
@@ -126,6 +132,16 @@ def _execute(args: argparse.Namespace, resume: bool, require_artifact: bool) -> 
         print()
         print(format_scenario_records(records))
     return 0
+
+
+def _print_profile(store: str) -> None:
+    """Print the per-stage wall times recorded in the run artifact."""
+    from repro.engine import load_run
+    from repro.utils.profiling import format_profile
+
+    profile = (load_run(store).meta.get("execution") or {}).get("profile") or {}
+    rendered = format_profile(profile) if profile else "(no freshly computed units)"
+    print(f"profile: {rendered}", file=sys.stderr)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -190,6 +206,14 @@ def build_parser() -> argparse.ArgumentParser:
         "'collect_workers')",
     )
     run_parser.add_argument(
+        "--probe-strategy",
+        choices=PROBE_STRATEGIES,
+        default=None,
+        help="hypothesis-evaluation strategy for probing schemes: 'batched' "
+        "(fast, selection-identical) or 'cold' (the seed implementation's "
+        "bit-stable arithmetic); default: each scheme's own default",
+    )
+    run_parser.add_argument(
         "--store",
         default=None,
         help="run-artifact path (default: runs/<scenario name>.json)",
@@ -198,6 +222,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--fresh",
         action="store_true",
         help="ignore any existing artifact and recompute every unit",
+    )
+    run_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="record per-stage wall times (collect / probe / aggregate / "
+        "defense) into the artifact's meta.execution.profile and print them",
     )
     run_parser.add_argument(
         "--quiet", action="store_true", help="print only the summary line"
@@ -213,7 +243,11 @@ def build_parser() -> argparse.ArgumentParser:
     resume_parser.add_argument(
         "--collect-workers", type=_collect_workers, default=None
     )
+    resume_parser.add_argument(
+        "--probe-strategy", choices=PROBE_STRATEGIES, default=None
+    )
     resume_parser.add_argument("--store", default=None)
+    resume_parser.add_argument("--profile", action="store_true")
     resume_parser.add_argument("--quiet", action="store_true")
     resume_parser.set_defaults(func=_cmd_resume)
 

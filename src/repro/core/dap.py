@@ -52,11 +52,13 @@ from repro.core.emf import EMFResult, run_emf
 from repro.core.emf_star import run_emf_star
 from repro.core.features import estimate_byzantine_features
 from repro.core.mean_estimation import corrected_mean_from_stats
+from repro.core.probing import check_probe_strategy
 from repro.core.transform import cached_transform_matrix, default_bucket_counts
 from repro.ldp.base import NumericalMechanism
 from repro.ldp.budget import dap_budget_ladder
 from repro.ldp.piecewise import PiecewiseMechanism
 from repro.utils.discretization import BucketGrid
+from repro.utils.profiling import profiled_stage, stage
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_integer, check_positive
 
@@ -95,6 +97,14 @@ class DAPConfig:
         reports are biased).
     max_reports_per_user:
         Safety cap on the per-user report multiplicity for tiny ``eps_0``.
+    probe_strategy:
+        How the probing stage evaluates its side hypotheses: ``"batched"``
+        (default) solves both sides in one stacked EM over their shared
+        normal block — same side selections, statistically equivalent
+        reconstructions; ``"cold"`` solves each side independently,
+        bit-identical to the seed implementation.  A pure execution detail
+        of the collector (see
+        :func:`repro.core.probing.probe_poisoned_side`).
     """
 
     epsilon: float
@@ -107,6 +117,7 @@ class DAPConfig:
     suppression_factor: float = DEFAULT_SUPPRESSION_FACTOR
     intra_group_mean: Literal["corrected_sum", "distribution"] = "corrected_sum"
     max_reports_per_user: int = 64
+    probe_strategy: str = "batched"
 
     def __post_init__(self) -> None:
         check_positive(self.epsilon, "epsilon")
@@ -127,6 +138,7 @@ class DAPConfig:
                 f"{self.intra_group_mean!r}"
             )
         check_integer(self.max_reports_per_user, "max_reports_per_user", minimum=1)
+        check_probe_strategy(self.probe_strategy)
 
     @property
     def budget_ladder(self) -> List[float]:
@@ -242,6 +254,7 @@ class DAPProtocol:
         """The mechanism instance used by the group with budget ``epsilon``."""
         return self._mechanisms[epsilon]
 
+    @profiled_stage("collect")
     def collect(
         self,
         normal_values: np.ndarray,
@@ -348,6 +361,7 @@ class DAPProtocol:
             epsilon, grid, n_expected_reports=n_expected_reports, n_users=n_users
         )
 
+    @profiled_stage("collect")
     def collect_stream(
         self,
         value_chunks: Iterable[np.ndarray],
@@ -449,6 +463,7 @@ class DAPProtocol:
     # ------------------------------------------------------------------
     # sharded collection
     # ------------------------------------------------------------------
+    @profiled_stage("collect")
     def collect_sharded(
         self,
         normal_values: np.ndarray,
@@ -647,49 +662,59 @@ class DAPProtocol:
             self._check_stats_geometry(group)
 
         # --- stage 3: probe side and gamma in the smallest-budget group ----------
-        probe_stats = min(stats, key=lambda s: s.epsilon)
-        probe_mechanism = self.mechanism_for(probe_stats.epsilon)
-        d_in, d_out = self._bucket_counts(probe_stats.n_reports, probe_stats.epsilon)
-        features = estimate_byzantine_features(
-            probe_mechanism,
-            counts=probe_stats.output_counts,
-            n_reports=probe_stats.n_reports,
-            n_input_buckets=d_in,
-            n_output_buckets=d_out,
-            reference_mean=self.config.reference_mean,
-            epsilon=probe_stats.epsilon,
-        )
+        with stage("probe"):
+            probe_stats = min(stats, key=lambda s: s.epsilon)
+            probe_mechanism = self.mechanism_for(probe_stats.epsilon)
+            d_in, d_out = self._bucket_counts(
+                probe_stats.n_reports, probe_stats.epsilon
+            )
+            features = estimate_byzantine_features(
+                probe_mechanism,
+                counts=probe_stats.output_counts,
+                n_reports=probe_stats.n_reports,
+                n_input_buckets=d_in,
+                n_output_buckets=d_out,
+                reference_mean=self.config.reference_mean,
+                epsilon=probe_stats.epsilon,
+                strategy=self.config.probe_strategy,
+            )
         side = features.side
         gamma_global = features.gamma_hat
 
-        # --- stage 4: per-group reconstruction + corrected mean ------------------
-        # The probing stage already ran EMF on the probe group with the exact
-        # transform, counts and tolerance stage 4 would use (the paper's tau
-        # applies to both), so its reconstruction is reused instead of being
-        # recomputed.  The distribution route tightens the tolerance, so it
-        # cannot reuse the probe run.
-        reusable = features.emf if self.config.intra_group_mean == "corrected_sum" else None
-        estimates: List[GroupEstimate] = []
-        for group in stats:
-            reuse = reusable if group is probe_stats else None
-            estimates.append(
-                self._estimate_group(
-                    group, side=side, gamma_global=gamma_global, reuse_emf=reuse
-                )
+        with stage("aggregate"):
+            # --- stage 4: per-group reconstruction + corrected mean --------------
+            # The probing stage already ran EMF on the probe group with the
+            # exact transform, counts and tolerance stage 4 would use (the
+            # paper's tau applies to both), so its reconstruction is reused
+            # instead of being recomputed.  The distribution route tightens
+            # the tolerance, so it cannot reuse the probe run.
+            reusable = (
+                features.emf
+                if self.config.intra_group_mean == "corrected_sum"
+                else None
             )
+            estimates: List[GroupEstimate] = []
+            for group in stats:
+                reuse = reusable if group is probe_stats else None
+                estimates.append(
+                    self._estimate_group(
+                        group, side=side, gamma_global=gamma_global, reuse_emf=reuse
+                    )
+                )
 
-        # --- stage 5: minimum-variance aggregation -------------------------------
-        variances = [
-            self.mechanism_for(e.epsilon).worst_case_variance() for e in estimates
-        ]
-        weights = aggregation_weights(
-            [e.epsilon for e in estimates],
-            [e.n_normal_estimate for e in estimates],
-            per_report_variances=variances,
-        )
-        for estimate, weight in zip(estimates, weights):
-            estimate.weight = float(weight)
-        aggregated = aggregate_means([e.mean for e in estimates], weights)
+            # --- stage 5: minimum-variance aggregation ---------------------------
+            variances = [
+                self.mechanism_for(e.epsilon).worst_case_variance()
+                for e in estimates
+            ]
+            weights = aggregation_weights(
+                [e.epsilon for e in estimates],
+                [e.n_normal_estimate for e in estimates],
+                per_report_variances=variances,
+            )
+            for estimate, weight in zip(estimates, weights):
+                estimate.weight = float(weight)
+            aggregated = aggregate_means([e.mean for e in estimates], weights)
 
         return DAPResult(
             estimate=aggregated,

@@ -21,11 +21,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import List, Sequence
 
 import numpy as np
 
 from repro.core.transform import TransformMatrix
-from repro.ldp.ems import em_reconstruct
+from repro.ldp.ems import em_reconstruct, em_reconstruct_batch
 from repro.utils.histogram import histogram_mean, histogram_variance
 
 #: hard cap on EM iterations; generous relative to typical convergence (<100)
@@ -161,4 +162,98 @@ def run_emf(
     )
 
 
-__all__ = ["EMFResult", "run_emf", "default_tolerance", "DEFAULT_MAX_ITER"]
+def run_emf_stacked(
+    transforms: Sequence[TransformMatrix],
+    counts: np.ndarray,
+    epsilon: float | None = None,
+    tol: float | None = None,
+    max_iter: int = DEFAULT_MAX_ITER,
+) -> List[EMFResult]:
+    """Run EMF for several hypotheses sharing one normal block, jointly.
+
+    The side hypotheses of Algorithm 3 (and any other family of transforms
+    that differ only in their poison columns) share their dense normal block
+    — the poison columns are one-hot indicators — so the whole family fits
+    :func:`repro.ldp.ems.em_reconstruct_batch`: every EM iteration advances
+    all hypotheses with a single BLAS product over the shared normal block,
+    and hypotheses that converge early stop consuming compute while the
+    stragglers iterate.  Hypotheses with fewer poison buckets are padded
+    internally (padded components are pinned to zero).
+
+    The reconstructions converge to the same maximisers as per-hypothesis
+    :func:`run_emf` calls; iterate-level floating-point ordering differs, so
+    use :func:`run_emf` where bit-stable output is required.
+
+    Parameters
+    ----------
+    transforms:
+        The hypothesis transforms; they must share the output grid and the
+        normal block (verified).
+    counts:
+        Output-bucket counts shared by every hypothesis (the hypotheses
+        explain the same observations).
+    epsilon, tol, max_iter:
+        Convergence controls as in :func:`run_emf`.
+    """
+    if not transforms:
+        raise ValueError("at least one transform is required")
+    first = transforms[0]
+    n_normal = first.n_normal_components
+    dense = first.matrix[:, :n_normal]
+    for transform in transforms[1:]:
+        if (
+            transform.n_normal_components != n_normal
+            or transform.output_grid != first.output_grid
+            or not np.array_equal(transform.matrix[:, :n_normal], dense)
+        ):
+            raise ValueError(
+                "stacked EMF hypotheses must share the output grid and the "
+                "normal block; build them over the same grids and mechanism"
+            )
+    counts = np.asarray(counts, dtype=float)
+    if tol is None:
+        tol = default_tolerance(epsilon)
+
+    tail_sizes = [transform.n_poison_components for transform in transforms]
+    n_tail = max(tail_sizes)
+    tail_rows = np.empty((len(transforms), n_tail), dtype=np.intp)
+    tail_mask = np.zeros((len(transforms), n_tail), dtype=bool)
+    for h, transform in enumerate(transforms):
+        indices = transform.poison_bucket_indices
+        tail_rows[h, : indices.size] = indices
+        # pad by repeating the first poison row; padded weight stays zero
+        tail_rows[h, indices.size:] = indices[0] if indices.size else 0
+        tail_mask[h, : indices.size] = True
+
+    batch = em_reconstruct_batch(
+        dense,
+        counts,
+        tail_rows,
+        tail_mask=tail_mask,
+        max_iter=max_iter,
+        tol=tol,
+    )
+    results: List[EMFResult] = []
+    for h, transform in enumerate(transforms):
+        weights = batch.weights[h][: n_normal + tail_sizes[h]]
+        normal, poison = transform.split_weights(weights)
+        results.append(
+            EMFResult(
+                normal_histogram=normal,
+                poison_histogram=poison,
+                transform=transform,
+                log_likelihood=float(batch.log_likelihoods[h]),
+                n_iterations=int(batch.n_iterations[h]),
+                converged=bool(batch.converged[h]),
+            )
+        )
+    return results
+
+
+__all__ = [
+    "EMFResult",
+    "run_emf",
+    "run_emf_stacked",
+    "default_tolerance",
+    "DEFAULT_MAX_ITER",
+]

@@ -70,6 +70,7 @@ def estimate_byzantine_features(
     tol: float | None = None,
     counts: np.ndarray | None = None,
     n_reports: int | None = None,
+    strategy: str = "batched",
 ) -> ByzantineFeatures:
     """Probe the Byzantine features from one batch of reports.
 
@@ -80,6 +81,9 @@ def estimate_byzantine_features(
     sufficient statistics: output-grid ``counts`` (length
     ``n_output_buckets``, which is then required) plus ``n_reports`` (used
     for the default bucket formulas; defaults to ``counts.sum()``).
+
+    ``strategy`` selects how the side hypotheses are evaluated (see
+    :func:`repro.core.probing.probe_poisoned_side`).
     """
     if (reports is None) == (counts is None):
         raise ValueError("provide exactly one of `reports` or `counts`")
@@ -107,6 +111,7 @@ def estimate_byzantine_features(
         epsilon=epsilon,
         tol=tol,
         counts=counts,
+        strategy=strategy,
     )
     emf = probe.selected
     return ByzantineFeatures(

@@ -34,8 +34,11 @@ from repro.collect.sharding import (
     run_shard_tasks,
 )
 from repro.collect.streaming import DEFAULT_CHUNK_SIZE, iter_chunks
-from repro.ldp.ems import em_reconstruct
+from repro.core.emf_star import constrained_m_step
+from repro.core.probing import PROBE_STRATEGIES, check_probe_strategy
+from repro.ldp.ems import EMResult, em_reconstruct, em_reconstruct_batch
 from repro.ldp.krr import KRandomizedResponse
+from repro.utils.profiling import profiled_stage, stage
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_integer, check_positive
 
@@ -96,6 +99,18 @@ class FrequencyDAP:
         (defaults to half the domain, mirroring the BFT bound).
     min_likelihood_gain:
         Greedy-probe stopping threshold on the per-step log-likelihood gain.
+    probe_strategy:
+        How each greedy round evaluates its candidate hypotheses.
+        ``"batched"`` (the default) solves every surviving candidate of a
+        round in one batched EM (:func:`repro.ldp.ems.em_reconstruct_batch`),
+        warm-started from the incumbent's converged weights, after a sound
+        likelihood-cap screen discarded candidates that provably cannot reach
+        the gain threshold.  ``"cold"`` is the bit-stable fallback: one
+        cold-start EM solve per candidate per round, exactly the historical
+        search.  Both strategies select the same poison set (the screen is a
+        proof, the warm start a test-enforced property), and the final
+        estimate is always recomputed on the bit-stable path, so
+        :meth:`estimate_from_counts` results are identical either way.
     """
 
     def __init__(
@@ -105,6 +120,7 @@ class FrequencyDAP:
         estimator: EstimatorName = "emf_star",
         max_poisoned: int | None = None,
         min_likelihood_gain: float = 2.0,
+        probe_strategy: str = "batched",
     ) -> None:
         self.epsilon = check_positive(epsilon, "epsilon")
         self.n_categories = check_integer(n_categories, "n_categories", minimum=2)
@@ -117,11 +133,13 @@ class FrequencyDAP:
             max(1, n_categories // 2) if max_poisoned is None else int(max_poisoned)
         )
         self.min_likelihood_gain = check_positive(min_likelihood_gain, "min_likelihood_gain")
+        self.probe_strategy = check_probe_strategy(probe_strategy)
         self.mechanism = KRandomizedResponse(epsilon, n_categories)
 
     # ------------------------------------------------------------------
     # client-side simulation helpers
     # ------------------------------------------------------------------
+    @profiled_stage("collect")
     def collect(
         self,
         normal_categories: np.ndarray,
@@ -150,6 +168,7 @@ class FrequencyDAP:
             reports.append(poison)
         return np.concatenate(reports)
 
+    @profiled_stage("collect")
     def collect_stream(
         self,
         category_chunks: Iterable[np.ndarray],
@@ -184,6 +203,7 @@ class FrequencyDAP:
                 )
         return accumulator
 
+    @profiled_stage("collect")
     def collect_sharded(
         self,
         normal_categories: np.ndarray,
@@ -267,8 +287,6 @@ class FrequencyDAP:
         transform = self._build_transform(poison_set)
         m_step = None
         if gamma_hat is not None and poison_set:
-            from repro.core.emf_star import constrained_m_step
-
             m_step = constrained_m_step(gamma_hat, self.n_categories)
         # the poison columns are one-hot on their category row, so EM can use
         # the split dense + gather/scatter products
@@ -285,30 +303,154 @@ class FrequencyDAP:
         self, counts: np.ndarray
     ) -> tuple[List[int], List[float]]:
         """Greedy likelihood-driven search for the poisoned categories."""
-        counts = np.asarray(counts, dtype=float)
+        poison_set, gains, _ = self._probe(np.asarray(counts, dtype=float))
+        return poison_set, gains
+
+    @profiled_stage("probe")
+    def _probe(
+        self, counts: np.ndarray
+    ) -> tuple[List[int], List[float], EMResult | None]:
+        """Dispatch the greedy probe; returns ``(poison_set, gains, emf)``.
+
+        The third element is the incumbent's converged plain-EM result when
+        the probe produced it on the bit-stable path (cold strategy), so
+        :meth:`estimate_from_counts` can reuse it instead of re-solving the
+        identical problem; the batched strategy returns ``None`` because its
+        warm-started iterates are not bit-comparable to a cold solve.
+        """
+        if self.probe_strategy == "cold":
+            return self._probe_cold(counts)
+        return self._probe_batched(counts)
+
+    def _probe_cold(
+        self, counts: np.ndarray
+    ) -> tuple[List[int], List[float], EMResult | None]:
+        """One cold-start EM solve per candidate per round (bit-stable)."""
         poison_set: List[int] = []
+        poisoned: set[int] = set()
         gains: List[float] = []
-        current_ll = self._reconstruct(counts, poison_set).log_likelihood
+        incumbent = self._reconstruct(counts, poison_set)
+        current_ll = incumbent.log_likelihood
 
         while len(poison_set) < self.max_poisoned:
             best_category = None
             best_ll = current_ll
+            best_result = None
+            candidate = poison_set + [-1]  # reused buffer: only the tail varies
             for category in range(self.n_categories):
-                if category in poison_set:
+                if category in poisoned:
                     continue
-                candidate = self._reconstruct(counts, poison_set + [category])
-                if candidate.log_likelihood > best_ll:
-                    best_ll = candidate.log_likelihood
+                candidate[-1] = category
+                result = self._reconstruct(counts, candidate)
+                if result.log_likelihood > best_ll:
+                    best_ll = result.log_likelihood
                     best_category = category
+                    best_result = result
             if best_category is None:
                 break
             gain = best_ll - current_ll
             if gain < self.min_likelihood_gain:
                 break
             poison_set.append(best_category)
+            poisoned.add(best_category)
             gains.append(float(gain))
             current_ll = best_ll
-        return poison_set, gains
+            incumbent = best_result
+        return poison_set, gains, incumbent
+
+    def _probe_batched(
+        self, counts: np.ndarray
+    ) -> tuple[List[int], List[float], EMResult | None]:
+        """Batched hypothesis evaluation: screen, warm-start, solve jointly.
+
+        Each greedy round (1) discards candidates whose log-likelihood
+        provably cannot reach ``current_ll + min_likelihood_gain`` — for any
+        weight vector ``F``, ``(A @ F)_i <= max_k A[i, k]``, so
+        ``sum_i c_i log(max_k A[i, k])`` caps the achievable likelihood, and
+        a candidate's cap differs from the incumbent's only through the rows
+        its indicator column lifts to one; (2) solves every survivor in one
+        batched EM, each hypothesis warm-started from the incumbent's
+        converged weights with the new component seeded at a uniform share.
+        Screened-out candidates can never change the selection: if the best
+        survivor clears the gain threshold it also beats every screened
+        candidate's cap, and if it does not, the round terminates the greedy
+        loop exactly as the cold path would.
+        """
+        dense = self.mechanism.transition_matrix()
+        poison_set: List[int] = []
+        poisoned: set[int] = set()
+        gains: List[float] = []
+        incumbent = self._reconstruct(counts, poison_set)
+        current_ll = incumbent.log_likelihood
+        incumbent_weights = incumbent.weights
+
+        # per-row likelihood cap of the normal block (clamped for the log)
+        row_max = np.maximum(dense.max(axis=1), 1e-300)
+        log_row_max = np.log(row_max)
+
+        while len(poison_set) < self.max_poisoned:
+            candidates = np.array(
+                [c for c in range(self.n_categories) if c not in poisoned],
+                dtype=np.intp,
+            )
+            if candidates.size == 0:
+                break
+            # likelihood cap with the current poison set's rows lifted to one
+            capped_log = log_row_max.copy()
+            if poison_set:
+                capped_log[poison_set] = np.maximum(capped_log[poison_set], 0.0)
+            base_cap = float(counts @ capped_log)
+            boosts = counts[candidates] * np.maximum(-capped_log[candidates], 0.0)
+            survivors = candidates[
+                base_cap + boosts >= current_ll + self.min_likelihood_gain
+            ]
+            if survivors.size == 0:
+                break
+
+            n_tail = len(poison_set) + 1
+            n_components = self.n_categories + n_tail
+            tail_rows = np.empty((survivors.size, n_tail), dtype=np.intp)
+            tail_rows[:, :-1] = poison_set
+            tail_rows[:, -1] = survivors
+            # warm start: the incumbent's converged weights with the new
+            # component seeded at a uniform share, plus a pinch of uniform
+            # mass so no component starts at the (EM-absorbing) exact zero.
+            # The deliberate blur keeps each candidate's effective solver
+            # accuracy comparable to a cold-start solve under the same
+            # tol/max_iter budget — candidates must not *out-converge* the
+            # cold search, or threshold-marginal configurations would select
+            # more categories than the cold path they must reproduce.
+            share = 1.0 / n_components
+            initial = np.empty((survivors.size, n_components))
+            initial[:, :-1] = incumbent_weights * (1.0 - share)
+            initial[:, -1] = share
+            initial = 0.98 * initial + 0.02 / n_components
+
+            batch = em_reconstruct_batch(
+                dense,
+                counts,
+                tail_rows,
+                initial=initial,
+                tol=1e-9,
+                max_iter=10_000,
+                # candidates certifiably below the acceptance floor stop
+                # immediately; the rest stop once their likelihood is
+                # certified within a fraction of the gain threshold of
+                # optimal — margins the greedy decisions never resolve
+                gap_tol=1e-3 * self.min_likelihood_gain,
+                ll_floor=current_ll + self.min_likelihood_gain,
+            )
+            best = int(np.argmax(batch.log_likelihoods))
+            best_ll = float(batch.log_likelihoods[best])
+            gain = best_ll - current_ll
+            if gain < self.min_likelihood_gain:
+                break
+            poison_set.append(int(survivors[best]))
+            poisoned.add(int(survivors[best]))
+            gains.append(float(gain))
+            current_ll = best_ll
+            incumbent_weights = batch.weights[best]
+        return poison_set, gains, None
 
     def estimate(self, reports: np.ndarray) -> FrequencyDAPResult:
         """Full collector pipeline: probe poisoned categories, then estimate."""
@@ -339,32 +481,44 @@ class FrequencyDAP:
         if counts.sum() == 0:
             raise ValueError("cannot estimate frequencies from zero reports")
 
-        poison_set, gains = self.probe_poisoned_categories(counts)
+        poison_set, gains, probe_emf = self._probe(counts)
 
-        # plain EMF reconstruction gives gamma_hat
-        emf = self._reconstruct(counts, poison_set)
-        gamma_hat = float(emf.weights[self.n_categories:].sum()) if poison_set else 0.0
+        with stage("aggregate"):
+            # plain EMF reconstruction gives gamma_hat; the cold probe already
+            # solved exactly this problem for its final incumbent (same
+            # transform, counts and initialisation — the solve is
+            # deterministic, so reuse is bit-identical), while the batched
+            # probe re-solves on the bit-stable path so both strategies
+            # return identical estimates
+            emf = probe_emf if probe_emf is not None else self._reconstruct(
+                counts, poison_set
+            )
+            gamma_hat = (
+                float(emf.weights[self.n_categories:].sum()) if poison_set else 0.0
+            )
 
-        if self.estimator == "emf" or not poison_set:
-            weights = emf.weights
-        else:
-            if self.estimator == "cemf_star" and poison_set:
-                # suppress candidate poison columns that received almost no mass
-                poison_mass = emf.weights[self.n_categories:]
-                threshold = 0.5 * gamma_hat / max(1, len(poison_set))
-                kept = [
-                    category
-                    for category, mass in zip(poison_set, poison_mass)
-                    if mass >= threshold
-                ]
-                poison_set = kept or poison_set
-            weights = self._reconstruct(counts, poison_set, gamma_hat=gamma_hat).weights
+            if self.estimator == "emf" or not poison_set:
+                weights = emf.weights
+            else:
+                if self.estimator == "cemf_star" and poison_set:
+                    # suppress candidate poison columns with almost no mass
+                    poison_mass = emf.weights[self.n_categories:]
+                    threshold = 0.5 * gamma_hat / max(1, len(poison_set))
+                    kept = [
+                        category
+                        for category, mass in zip(poison_set, poison_mass)
+                        if mass >= threshold
+                    ]
+                    poison_set = kept or poison_set
+                weights = self._reconstruct(
+                    counts, poison_set, gamma_hat=gamma_hat
+                ).weights
 
-        normal = np.clip(weights[: self.n_categories], 0.0, None)
-        total = normal.sum()
-        frequencies = normal / total if total > 0 else np.full(
-            self.n_categories, 1.0 / self.n_categories
-        )
+            normal = np.clip(weights[: self.n_categories], 0.0, None)
+            total = normal.sum()
+            frequencies = normal / total if total > 0 else np.full(
+                self.n_categories, 1.0 / self.n_categories
+            )
         return FrequencyDAPResult(
             frequencies=frequencies,
             poisoned_categories=list(poison_set),
@@ -425,4 +579,9 @@ def _run_frequency_shard(task: _FrequencyShardTask) -> dict:
     return accumulator.state_dict()
 
 
-__all__ = ["FrequencyDAP", "FrequencyDAPResult", "ostrich_frequencies"]
+__all__ = [
+    "FrequencyDAP",
+    "FrequencyDAPResult",
+    "PROBE_STRATEGIES",
+    "ostrich_frequencies",
+]

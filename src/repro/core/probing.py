@@ -16,8 +16,23 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.emf import DEFAULT_MAX_ITER, EMFResult, run_emf
+from repro.core.emf import DEFAULT_MAX_ITER, EMFResult, run_emf, run_emf_stacked
 from repro.core.transform import TransformMatrix, cached_transform_matrix
+
+#: hypothesis-evaluation strategies shared by the probing stages:
+#: ``"batched"`` evaluates all hypotheses jointly (one BLAS product per EM
+#: iteration, convergence masking), ``"cold"`` is the bit-stable fallback
+#: solving each hypothesis independently, exactly as the seed implementation
+PROBE_STRATEGIES = ("batched", "cold")
+
+
+def check_probe_strategy(strategy: str) -> str:
+    """Validate a probe-strategy name (shared by every layer exposing it)."""
+    if strategy not in PROBE_STRATEGIES:
+        raise ValueError(
+            f"probe strategy must be one of {PROBE_STRATEGIES}, got {strategy!r}"
+        )
+    return strategy
 
 
 @dataclass
@@ -63,6 +78,7 @@ def probe_poisoned_side(
     tol: float | None = None,
     max_iter: int = DEFAULT_MAX_ITER,
     counts: np.ndarray | None = None,
+    strategy: str = "batched",
 ) -> SideProbeResult:
     """Run Algorithm 3 and return the side decision plus both EMF runs.
 
@@ -85,9 +101,17 @@ def probe_poisoned_side(
         from a streaming :class:`~repro.collect.HistogramAccumulator`.  Both
         side hypotheses share the same output grid, so one histogram is the
         complete sufficient statistic of the probe.
+    strategy:
+        ``"batched"`` (default) solves both side hypotheses in one stacked EM
+        over their shared normal block (:func:`repro.core.emf.run_emf_stacked`)
+        — the sides reach the same maximisers and the variance comparison
+        selects the same side, but iterate-level floating point differs from
+        two independent solves; ``"cold"`` runs the two sides separately,
+        bit-identical to the seed implementation.
     """
     if (reports is None) == (counts is None):
         raise ValueError("provide exactly one of `reports` or `counts`")
+    check_probe_strategy(strategy)
     if counts is not None:
         counts = np.asarray(counts, dtype=float)
         if counts.shape != (n_output_buckets,):
@@ -97,9 +121,9 @@ def probe_poisoned_side(
             )
     epsilon = mechanism.epsilon if epsilon is None else epsilon
 
-    results = {}
+    transforms = {}
     for side in ("left", "right"):
-        transform = cached_transform_matrix(
+        transforms[side] = cached_transform_matrix(
             mechanism,
             n_input_buckets=n_input_buckets,
             n_output_buckets=n_output_buckets,
@@ -108,10 +132,28 @@ def probe_poisoned_side(
         )
         if counts is None:
             # both sides share the output grid; bucketize once
-            counts = transform.output_counts(np.asarray(reports, dtype=float))
-        results[side] = run_emf(
-            transform, counts=counts, epsilon=epsilon, tol=tol, max_iter=max_iter
+            counts = transforms[side].output_counts(np.asarray(reports, dtype=float))
+
+    if strategy == "batched":
+        emf_left, emf_right = run_emf_stacked(
+            [transforms["left"], transforms["right"]],
+            counts=counts,
+            epsilon=epsilon,
+            tol=tol,
+            max_iter=max_iter,
         )
+        results = {"left": emf_left, "right": emf_right}
+    else:
+        results = {
+            side: run_emf(
+                transforms[side],
+                counts=counts,
+                epsilon=epsilon,
+                tol=tol,
+                max_iter=max_iter,
+            )
+            for side in ("left", "right")
+        }
 
     variance_left = results["left"].normal_histogram_variance
     variance_right = results["right"].normal_histogram_variance
@@ -125,4 +167,9 @@ def probe_poisoned_side(
     )
 
 
-__all__ = ["SideProbeResult", "probe_poisoned_side"]
+__all__ = [
+    "PROBE_STRATEGIES",
+    "SideProbeResult",
+    "check_probe_strategy",
+    "probe_poisoned_side",
+]

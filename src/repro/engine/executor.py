@@ -37,6 +37,7 @@ import numpy as np
 from repro.engine.spec import ExperimentSpec, Unit
 from repro.engine.store import load_run, save_run
 from repro.simulation.sweep import SweepRecord
+from repro.utils import profiling
 from repro.utils.rng import RngLike, ensure_rng
 
 #: sentinel accepted by ``n_workers`` to use every available CPU
@@ -76,9 +77,13 @@ def _init_worker(spec: ExperimentSpec, seed_matrix: np.ndarray) -> None:
     _WORKER_SEEDS = seed_matrix
 
 
-def _run_unit(unit: Unit) -> tuple[Unit, List[Any]]:
+def _run_unit(unit: Unit) -> tuple[Unit, List[Any], Dict[str, float]]:
     assert _WORKER_SPEC is not None and _WORKER_SEEDS is not None
-    return unit, _WORKER_SPEC.evaluate_unit(unit, _WORKER_SEEDS[unit[0]])
+    before = profiling.snapshot()
+    records = _WORKER_SPEC.evaluate_unit(unit, _WORKER_SEEDS[unit[0]])
+    # stage wall times accumulate per process; shipping the per-unit delta
+    # back with the records makes pool runs profile like serial ones
+    return unit, records, profiling.delta_since(before)
 
 
 def _report(
@@ -95,14 +100,15 @@ def _run_units_serial(
     progress: ProgressCallback | None = None,
     done: int = 0,
     total: int | None = None,
-) -> Dict[Unit, List[Any]]:
+) -> tuple[Dict[Unit, List[Any]], Dict[str, float]]:
     total = len(units) if total is None else total
     results: Dict[Unit, List[Any]] = {}
+    before = profiling.snapshot()
     for unit in units:
         results[unit] = spec.evaluate_unit(unit, seed_matrix[unit[0]])
         done += 1
         _report(progress, done, total)
-    return results
+    return results, profiling.delta_since(before)
 
 
 def _run_units_parallel(
@@ -113,7 +119,7 @@ def _run_units_parallel(
     progress: ProgressCallback | None = None,
     done: int = 0,
     total: int | None = None,
-) -> Dict[Unit, List[Any]]:
+) -> tuple[Dict[Unit, List[Any]], Dict[str, float]]:
     total = len(units) if total is None else total
     try:
         pickle.dumps(spec)
@@ -133,11 +139,13 @@ def _run_units_parallel(
             initargs=(spec, seed_matrix),
         ) as pool:
             results: Dict[Unit, List[Any]] = {}
-            for unit, records in pool.map(_run_unit, units):
+            profile: Dict[str, float] = {}
+            for unit, records, unit_profile in pool.map(_run_unit, units):
                 results[unit] = records
+                profiling.merge_profiles(profile, unit_profile)
                 done += 1
                 _report(progress, done, total)
-            return results
+            return results, profile
     except (OSError, concurrent.futures.process.BrokenProcessPool) as error:
         warnings.warn(
             f"process pool unavailable ({error}); falling back to serial "
@@ -155,6 +163,7 @@ def run_experiment(
     store_path: str | os.PathLike | None = None,
     resume: bool = True,
     progress: ProgressCallback | None = None,
+    profile: bool = False,
 ) -> List[Any]:
     """Execute a spec and return its result records in canonical order.
 
@@ -179,6 +188,12 @@ def run_experiment(
         Optional ``(completed_units, total_units)`` callback invoked after
         every finished work unit (units restored from an artifact are
         reported up front), for long-run progress output.
+    profile:
+        Record the per-stage wall times of the freshly computed units
+        (collect / probe / aggregate / defense, summed over all workers —
+        see :mod:`repro.utils.profiling`) under ``meta.execution.profile``
+        of the run artifact.  Units restored from an existing artifact cost
+        no stage time, so they contribute nothing.
     """
     master = ensure_rng(rng if rng is not None else spec.seed)
     seed_matrix = draw_seed_matrix(master, len(spec.points), spec.n_trials)
@@ -205,11 +220,11 @@ def run_experiment(
                 RuntimeWarning,
                 stacklevel=2,
             )
-        fresh = _run_units_parallel(
+        fresh, run_profile = _run_units_parallel(
             spec, pending, seed_matrix, n_workers, progress, done, len(units)
         )
     else:
-        fresh = _run_units_serial(
+        fresh, run_profile = _run_units_serial(
             spec, pending, seed_matrix, progress, done, len(units)
         )
 
@@ -217,7 +232,13 @@ def run_experiment(
     for unit in units:
         records.extend(completed.get(unit) or fresh[unit])
     if store_path is not None:
-        _store_records(spec, store_path, records, units)
+        _store_records(
+            spec,
+            store_path,
+            records,
+            units,
+            profile=run_profile if profile else None,
+        )
     return records
 
 
@@ -253,13 +274,22 @@ def _load_completed_units(
         return {}
     # artifacts written before execution provenance existed identify their
     # collection path through that legacy fingerprint key (collect_workers
-    # did not exist yet, so None is exact)
-    stored_execution = artifact.meta.get("execution") or {
+    # did not exist yet, so None is exact); knobs added later are normalised
+    # with .get() so older artifacts compare as "default", and non-knob
+    # provenance (e.g. profile timings) never participates.  Only the
+    # *collection* knobs matter here: they change which randomness stream
+    # computes the pending units, whereas probe_strategy changes solver
+    # arithmetic only and consumes no randomness, so it never warrants the
+    # warning.
+    stored_raw = artifact.meta.get("execution") or {
         "chunk_size": legacy_chunk_size,
-        "collect_workers": None,
     }
+    collection_knobs = ("chunk_size", "collect_workers")
+    details = _execution_details(spec)
+    current_execution = {key: details[key] for key in collection_knobs}
+    stored_execution = {key: stored_raw.get(key) for key in collection_knobs}
     if (
-        stored_execution != _execution_details(spec)
+        stored_execution != current_execution
         and len(artifact.rows) < len(units)
     ):
         # execution knobs never gate reuse (completed records are served
@@ -270,7 +300,7 @@ def _load_completed_units(
         warnings.warn(
             f"resuming a partial artifact ({len(artifact.rows)} stored rows) "
             f"recorded under execution settings {stored_execution}, but the "
-            f"pending units will run under {_execution_details(spec)}; "
+            f"pending units will run under {current_execution}; "
             f"completed records are reused verbatim while the remaining ones "
             f"use the new path's randomness (statistically equivalent draws)",
             RuntimeWarning,
@@ -299,15 +329,25 @@ def _execution_details(spec: ExperimentSpec) -> dict:
     return {
         "chunk_size": spec.chunk_size,
         "collect_workers": spec.collect_workers,
+        "probe_strategy": getattr(spec, "probe_strategy", None),
     }
 
 
 def _store_records(
-    spec: ExperimentSpec, store_path, records: Sequence[Any], units: Sequence[Unit]
+    spec: ExperimentSpec,
+    store_path,
+    records: Sequence[Any],
+    units: Sequence[Unit],
+    profile: Dict[str, float] | None = None,
 ) -> None:
     if not _storable(spec, records):
         return
     point_indices = [unit[0] for unit in units]
+    execution = _execution_details(spec)
+    if profile is not None:
+        execution["profile"] = {
+            name: round(seconds, 6) for name, seconds in sorted(profile.items())
+        }
     save_run(
         store_path,
         records,
@@ -315,7 +355,7 @@ def _store_records(
         meta={
             "fingerprint": spec.fingerprint(),
             "description": spec.description,
-            "execution": _execution_details(spec),
+            "execution": execution,
         },
     )
 

@@ -34,6 +34,7 @@ from typing import Any, Callable, List, Mapping, Sequence, Tuple
 import numpy as np
 
 from repro.attacks.base import Attack
+from repro.core.probing import check_probe_strategy
 from repro.datasets.base import NumericalDataset
 from repro.simulation.runner import (
     run_trials_batched,
@@ -92,6 +93,14 @@ class ExperimentSpec:
         bit-identical for any positive value — and therefore *not* part of
         :meth:`fingerprint`.  Mutually exclusive with ``batched`` and
         ``chunk_size``.
+    probe_strategy:
+        Override the probe-strategy execution knob on every scheme that has
+        a probing stage (``"batched"`` / ``"cold"``, see
+        :data:`repro.core.probing.PROBE_STRATEGIES`); ``None`` keeps each
+        scheme's own default.  An execution detail like ``chunk_size`` and
+        ``collect_workers`` — probe selections are strategy-invariant — so
+        it is recorded in artifact provenance but excluded from
+        :meth:`fingerprint`.
     seed:
         Default master seed used when the executor is not handed an explicit
         generator.
@@ -119,6 +128,7 @@ class ExperimentSpec:
     batched: bool = False
     chunk_size: int | None = None
     collect_workers: int | None = None
+    probe_strategy: str | None = None
     seed: int | None = None
     description: str = ""
     fingerprint_extra: Mapping[str, Any] | None = None
@@ -155,6 +165,8 @@ class ExperimentSpec:
                     f"outside the trial runners; collect_workers is never "
                     f"honoured"
                 )
+        if self.probe_strategy is not None:
+            check_probe_strategy(self.probe_strategy)
         if not self.is_point_granular():
             missing = [
                 label
@@ -188,7 +200,11 @@ class ExperimentSpec:
         """Instantiate the schemes evaluated at one sweep point."""
         if self.scheme_factory is None:
             raise ValueError(f"spec {self.name!r} has no scheme factory")
-        return list(self.scheme_factory(point))
+        schemes = list(self.scheme_factory(point))
+        if self.probe_strategy is not None:
+            for scheme in schemes:
+                scheme.configure_probing(self.probe_strategy)
+        return schemes
 
     # ------------------------------------------------------------------
     # execution interface (consumed by the executor)
@@ -270,14 +286,16 @@ class ExperimentSpec:
         an artifact from a *different* sweep of the same shape (e.g. other
         epsilons, or other schemes) can never be mistaken for this one.
 
-        Execution details — ``chunk_size``, ``collect_workers``, and the
-        executor's worker count — are deliberately *not* part of the
-        identity: the accumulators behind the streaming and sharded paths
-        are chunking/merge-invariant, so completed records are reusable
-        verbatim whatever path computes the remaining ones, and a run must
-        stay resumable when only its execution knobs change (e.g. resuming
-        an in-memory run with ``--chunk-size`` to fit a bigger machine's
-        memory budget, or with ``--collect-workers`` to use its cores).
+        Execution details — ``chunk_size``, ``collect_workers``,
+        ``probe_strategy``, and the executor's worker count — are
+        deliberately *not* part of the identity: the accumulators behind the
+        streaming and sharded paths are chunking/merge-invariant and the
+        probe strategies select the same hypotheses, so completed records
+        are reusable verbatim whatever path computes the remaining ones, and
+        a run must stay resumable when only its execution knobs change (e.g.
+        resuming an in-memory run with ``--chunk-size`` to fit a bigger
+        machine's memory budget, or with ``--probe-strategy cold`` to
+        reproduce the seed implementation's exact arithmetic).
         """
         gamma = self.gamma if isinstance(self.gamma, (int, float)) else "per-point"
         points_digest = hashlib.sha256(

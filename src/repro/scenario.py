@@ -57,6 +57,7 @@ from repro.engine.factories import (
     PointKey,
     SchemesFromSpecs,
 )
+from repro.core.probing import check_probe_strategy
 from repro.registry import ATTACKS, DATASETS
 from repro.simulation.sweep import SweepRecord, format_table, records_to_table
 from repro.utils.rng import RngLike, ensure_rng
@@ -193,6 +194,7 @@ SCENARIO_KEYS = (
     "batched",
     "chunk_size",
     "collect_workers",
+    "probe_strategy",
     "population",
 )
 
@@ -243,6 +245,13 @@ class ScenarioSpec:
         execution detail: it is excluded from :meth:`document` (and hence
         the resume digest), exactly like the executor's ``n_workers``.
         Mutually exclusive with ``batched`` and ``chunk_size``.
+    probe_strategy:
+        Override every probing scheme's hypothesis-evaluation strategy
+        (``"batched"`` / ``"cold"``; ``None`` keeps the scheme defaults).
+        An execution detail like ``collect_workers`` — probe selections are
+        strategy-invariant — so it is likewise excluded from
+        :meth:`document` and the resume digest, and recorded only as
+        artifact provenance.
     """
 
     name: str
@@ -260,6 +269,7 @@ class ScenarioSpec:
     batched: bool = False
     chunk_size: int | None = None
     collect_workers: int | None = None
+    probe_strategy: str | None = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -308,6 +318,8 @@ class ScenarioSpec:
                     f"'batched'/'chunk_size'; the sharded, stacked-trials and "
                     f"streaming paths are mutually exclusive"
                 )
+        if self.probe_strategy is not None:
+            check_probe_strategy(self.probe_strategy)
 
     # ------------------------------------------------------------------
     # construction from documents
@@ -340,7 +352,8 @@ class ScenarioSpec:
             "epsilons": payload["epsilons"],
         }
         for key in ("description", "attacks", "datasets", "gammas", "seed",
-                    "epsilon_min", "batched", "chunk_size", "collect_workers"):
+                    "epsilon_min", "batched", "chunk_size", "collect_workers",
+                    "probe_strategy"):
             if key in payload:
                 kwargs[key] = payload[key]
         n_trials = payload.get("trials", payload.get("n_trials"))
@@ -370,10 +383,11 @@ class ScenarioSpec:
         Captures every knob that affects results — including seed,
         epsilon_min and per-component params — so its digest identifies the
         scenario for artifact resume.  Execution details (``chunk_size``,
-        ``collect_workers``) are deliberately excluded, like the executor's
-        ``n_workers``: completed records are reusable verbatim whichever
-        collection path computes the rest, so a run started in memory must
-        stay resumable with ``--chunk-size`` or ``--collect-workers`` set.
+        ``collect_workers``, ``probe_strategy``) are deliberately excluded,
+        like the executor's ``n_workers``: completed records are reusable
+        verbatim whichever collection path computes the rest, so a run
+        started in memory must stay resumable with ``--chunk-size``,
+        ``--collect-workers`` or ``--probe-strategy`` set.
         """
         return {
             "name": self.name,
@@ -450,6 +464,7 @@ class ScenarioSpec:
             batched=self.batched,
             chunk_size=self.chunk_size,
             collect_workers=self.collect_workers,
+            probe_strategy=self.probe_strategy,
             seed=self.seed,
             fingerprint_extra={"scenario_digest": self.digest()},
         )
@@ -462,6 +477,7 @@ def run_scenario(
     store_path: str | os.PathLike | None = None,
     resume: bool = True,
     progress: "Callable[[int, int], None] | None" = None,
+    profile: bool = False,
 ) -> List[SweepRecord]:
     """Execute a scenario through the parallel executor and run store.
 
@@ -491,6 +507,7 @@ def run_scenario(
         store_path=store_path,
         resume=resume,
         progress=progress,
+        profile=profile,
     )
 
 

@@ -17,11 +17,13 @@ import numpy as np
 from repro.attacks.base import Attack, NoAttack
 from repro.core.baseline_protocol import BaselineProtocol
 from repro.core.dap import DAPConfig, DAPProtocol
+from repro.core.probing import check_probe_strategy
 from repro.defenses.base import Defense
 from repro.ldp.base import NumericalMechanism
 from repro.ldp.piecewise import PiecewiseMechanism
 from repro.registry import DEFENSES, MECHANISMS, SCHEMES
 from repro.simulation.population import Population, PopulationStream
+from repro.utils.profiling import stage
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 
 MechanismFactory = Callable[[float], NumericalMechanism]
@@ -45,6 +47,19 @@ class Scheme(abc.ABC):
         self, population: Population, attack: Attack | None, rng: RngLike = None
     ) -> float:
         """Run one collection round and return the mean estimate."""
+
+    def configure_probing(self, strategy: str) -> "Scheme":
+        """Set the probe-strategy execution knob, where the scheme has one.
+
+        Schemes with a probing stage (the DAP variants, the baseline
+        protocol) override this to switch between the batched and the
+        bit-stable cold hypothesis evaluation
+        (:data:`repro.core.probing.PROBE_STRATEGIES`); schemes without a
+        probing stage validate the name and ignore it, so an experiment-wide
+        override can be applied across a mixed scheme list.
+        """
+        check_probe_strategy(strategy)
+        return self
 
     def estimate_sharded(
         self,
@@ -110,6 +125,11 @@ class DAPScheme(Scheme):
         self.protocol = DAPProtocol(config)
         suffix = {"emf": "EMF", "emf_star": "EMF*", "cemf_star": "CEMF*"}[config.estimator]
         self.name = name or f"DAP-{suffix}"
+
+    def configure_probing(self, strategy: str) -> "DAPScheme":
+        """Switch the protocol's side-probe strategy (execution detail)."""
+        self.config.probe_strategy = check_probe_strategy(strategy)
+        return self
 
     supports_streaming = True
 
@@ -184,12 +204,14 @@ class SingleRoundScheme(Scheme):
     ) -> float:
         rng = ensure_rng(rng)
         attack = attack or NoAttack()
-        normal_reports = self.mechanism.perturb(population.normal_values, rng)
-        poison_reports = attack.poison_reports(
-            population.n_byzantine, self.mechanism, 0.0, rng
-        ).reports
-        reports = np.concatenate([normal_reports, poison_reports])
-        return self.defense.estimate_mean(reports, self.mechanism, rng).estimate
+        with stage("collect"):
+            normal_reports = self.mechanism.perturb(population.normal_values, rng)
+            poison_reports = attack.poison_reports(
+                population.n_byzantine, self.mechanism, 0.0, rng
+            ).reports
+            reports = np.concatenate([normal_reports, poison_reports])
+        with stage("defense"):
+            return self.defense.estimate_mean(reports, self.mechanism, rng).estimate
 
     def estimate_batch(
         self,
@@ -207,28 +229,32 @@ class SingleRoundScheme(Scheme):
         rng = ensure_rng(rng)
         attack = attack or NoAttack()
 
-        normal_sizes = np.array([p.n_normal for p in populations])
-        stacked = np.concatenate([p.normal_values for p in populations])
-        normal_reports = np.split(
-            self.mechanism.perturb(stacked, rng), np.cumsum(normal_sizes)[:-1]
-        )
+        with stage("collect"):
+            normal_sizes = np.array([p.n_normal for p in populations])
+            stacked = np.concatenate([p.normal_values for p in populations])
+            normal_reports = np.split(
+                self.mechanism.perturb(stacked, rng), np.cumsum(normal_sizes)[:-1]
+            )
 
-        byzantine_sizes = np.array([p.n_byzantine for p in populations])
-        total_byzantine = int(byzantine_sizes.sum())
-        poison_all = (
-            attack.poison_reports(total_byzantine, self.mechanism, 0.0, rng).reports
-            if total_byzantine
-            else np.empty(0)
-        )
-        poison_reports = np.split(poison_all, np.cumsum(byzantine_sizes)[:-1])
+            byzantine_sizes = np.array([p.n_byzantine for p in populations])
+            total_byzantine = int(byzantine_sizes.sum())
+            poison_all = (
+                attack.poison_reports(total_byzantine, self.mechanism, 0.0, rng).reports
+                if total_byzantine
+                else np.empty(0)
+            )
+            poison_reports = np.split(poison_all, np.cumsum(byzantine_sizes)[:-1])
 
-        estimates = np.empty(len(populations))
-        for index, (normal, poison) in enumerate(zip(normal_reports, poison_reports)):
-            reports = np.concatenate([normal, poison])
-            estimates[index] = self.defense.estimate_mean(
-                reports, self.mechanism, rng
-            ).estimate
-        return estimates
+        with stage("defense"):
+            estimates = np.empty(len(populations))
+            for index, (normal, poison) in enumerate(
+                zip(normal_reports, poison_reports)
+            ):
+                reports = np.concatenate([normal, poison])
+                estimates[index] = self.defense.estimate_mean(
+                    reports, self.mechanism, rng
+                ).estimate
+            return estimates
 
 
 class BaselineProtocolScheme(Scheme):
@@ -247,6 +273,11 @@ class BaselineProtocolScheme(Scheme):
         )
         self.evade_probing = evade_probing
         self.name = name or ("Baseline(evaded)" if evade_probing else "Baseline")
+
+    def configure_probing(self, strategy: str) -> "BaselineProtocolScheme":
+        """Switch the protocol's side-probe strategy (execution detail)."""
+        self.protocol.probe_strategy = check_probe_strategy(strategy)
+        return self
 
     def estimate(
         self, population: Population, attack: Attack | None, rng: RngLike = None

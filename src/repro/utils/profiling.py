@@ -1,0 +1,101 @@
+"""Per-stage wall-time accounting for the protocol hot paths.
+
+The pipeline's interesting stages — client-side **collect**ion, the
+likelihood-driven **probe**, the remaining collector-side **aggregate**
+work, and classical **defense** scoring — are scattered across modules, so
+this module keeps one process-local accumulator that the instrumented call
+sites feed through :func:`stage`.  Accumulation is a pair of
+``perf_counter`` calls per stage entry (nanoseconds against rounds that
+take milliseconds), so it is always on; whether anything *reads* the
+totals is the caller's business — the engine snapshots them around each
+work unit and records the deltas into the run artifact's
+``meta.execution.profile`` when profiling is requested.
+
+Totals are per process.  Pool workers accumulate into their own process's
+totals, which the executor ships back alongside each unit's records, so a
+parallel run profiles just like a serial one.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, Mapping, TypeVar
+
+_F = TypeVar("_F", bound=Callable)
+
+#: the canonical stage names, in pipeline order
+STAGES = ("collect", "probe", "aggregate", "defense")
+
+_totals: Dict[str, float] = {}
+
+
+@contextmanager
+def stage(name: str) -> Iterator[None]:
+    """Accumulate the wall time of the enclosed block under ``name``.
+
+    Instrumented call sites do not nest the same stage; distinct stages may
+    nest (the outer stage then includes the inner one's wall time — the
+    call sites are placed so they never do).
+    """
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        _totals[name] = _totals.get(name, 0.0) + (time.perf_counter() - start)
+
+
+def profiled_stage(name: str) -> Callable[[_F], _F]:
+    """Decorator form of :func:`stage` for whole functions/methods."""
+
+    def wrap(function: _F) -> _F:
+        @functools.wraps(function)
+        def inner(*args, **kwargs):
+            with stage(name):
+                return function(*args, **kwargs)
+
+        return inner  # type: ignore[return-value]
+
+    return wrap
+
+
+def snapshot() -> Dict[str, float]:
+    """Copy of this process's cumulative stage totals (seconds)."""
+    return dict(_totals)
+
+
+def delta_since(before: Mapping[str, float]) -> Dict[str, float]:
+    """Stage time accumulated since ``before`` (a :func:`snapshot`)."""
+    return {
+        name: total - before.get(name, 0.0)
+        for name, total in _totals.items()
+        if total - before.get(name, 0.0) > 0.0
+    }
+
+
+def merge_profiles(
+    target: Dict[str, float], addition: Mapping[str, float]
+) -> Dict[str, float]:
+    """Fold one profile delta into ``target`` (in place; returned for chaining)."""
+    for name, seconds in addition.items():
+        target[name] = target.get(name, 0.0) + seconds
+    return target
+
+
+def format_profile(profile: Mapping[str, float]) -> str:
+    """Render a profile as ``stage=1.234s`` pairs in pipeline order."""
+    ordered = [name for name in STAGES if name in profile]
+    ordered += sorted(set(profile) - set(STAGES))
+    return " ".join(f"{name}={profile[name]:.3f}s" for name in ordered)
+
+
+__all__ = [
+    "STAGES",
+    "stage",
+    "profiled_stage",
+    "snapshot",
+    "delta_since",
+    "merge_profiles",
+    "format_profile",
+]

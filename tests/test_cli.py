@@ -263,3 +263,93 @@ class TestExampleScenario:
         spec = scenario.to_experiment_spec()
         assert len(spec.points) == 9  # 3 attacks x 3 epsilons
         assert len(spec.schemes_for(spec.points[0])) == 4
+
+
+DAP_SCENARIO = {
+    "name": "dappy",
+    "population": {"n_users": 600, "gamma": 0.25},
+    "trials": 2,
+    "seed": 5,
+    "epsilons": [1.0],
+    "datasets": ["Uniform"],
+    "attacks": [{"name": "bba", "poison_range": "[C/2,C]"}],
+    "schemes": ["DAP-CEMF*"],
+}
+
+
+class TestProbeStrategy:
+    def test_flag_recorded_and_statistically_equivalent(self, tmp_path):
+        path = tmp_path / "dappy.json"
+        path.write_text(json.dumps(DAP_SCENARIO))
+        stores = {}
+        for strategy in ("batched", "cold"):
+            store = tmp_path / f"{strategy}.json"
+            result = run_cli(
+                "run", str(path), "--quiet", "--probe-strategy", strategy,
+                "--store", str(store),
+            )
+            assert result.returncode == 0, result.stderr
+            stores[strategy] = load_run(store)
+        for strategy, artifact in stores.items():
+            assert artifact.meta["execution"]["probe_strategy"] == strategy
+        # the strategies evaluate the same hypotheses; only iterate-level
+        # floating point may differ
+        for cold_row, batched_row in zip(
+            stores["cold"].records, stores["batched"].records
+        ):
+            assert batched_row.mse == pytest.approx(cold_row.mse, rel=1e-6)
+
+    def test_strategy_is_an_execution_detail_for_resume(self, tmp_path):
+        path = tmp_path / "dappy.json"
+        path.write_text(json.dumps(DAP_SCENARIO))
+        store = tmp_path / "artifact.json"
+        result = run_cli("run", str(path), "--quiet", "--store", str(store))
+        assert result.returncode == 0, result.stderr
+        before = load_run(store)
+        # resuming a complete artifact under the other strategy must reuse
+        # every record verbatim (the knob is not part of the fingerprint)
+        result = run_cli(
+            "resume", str(path), "--quiet", "--probe-strategy", "cold",
+            "--store", str(store),
+        )
+        assert result.returncode == 0, result.stderr
+        after = load_run(store)
+        assert [
+            (r.point, r.scheme, r.mse, r.bias) for r in after.records
+        ] == [(r.point, r.scheme, r.mse, r.bias) for r in before.records]
+
+    def test_rejects_unknown_strategy(self, scenario_file):
+        result = run_cli("run", str(scenario_file), "--probe-strategy", "warm")
+        assert result.returncode == 2
+        assert "--probe-strategy" in result.stderr
+
+
+class TestProfile:
+    def test_profile_recorded_in_artifact_and_printed(self, scenario_file, tmp_path):
+        store = tmp_path / "artifact.json"
+        result = run_cli(
+            "run", str(scenario_file), "--quiet", "--profile", "--store", str(store)
+        )
+        assert result.returncode == 0, result.stderr
+        assert "profile:" in result.stderr
+        profile = load_run(store).meta["execution"]["profile"]
+        # Ostrich/Trimming rounds have a collection and a defense stage
+        assert set(profile) >= {"collect", "defense"}
+        assert all(seconds >= 0.0 for seconds in profile.values())
+
+    def test_profile_covers_probe_and_aggregate_for_dap(self, tmp_path):
+        path = tmp_path / "dappy.json"
+        path.write_text(json.dumps(DAP_SCENARIO))
+        store = tmp_path / "artifact.json"
+        result = run_cli(
+            "run", str(path), "--quiet", "--profile", "--store", str(store)
+        )
+        assert result.returncode == 0, result.stderr
+        profile = load_run(store).meta["execution"]["profile"]
+        assert set(profile) >= {"collect", "probe", "aggregate"}
+
+    def test_no_profile_key_without_flag(self, scenario_file, tmp_path):
+        store = tmp_path / "artifact.json"
+        result = run_cli("run", str(scenario_file), "--quiet", "--store", str(store))
+        assert result.returncode == 0, result.stderr
+        assert "profile" not in load_run(store).meta["execution"]
