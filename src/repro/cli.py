@@ -22,6 +22,7 @@ import sys
 import time
 from typing import List, Sequence
 
+from repro.backends import BACKENDS
 from repro.core.probing import PROBE_STRATEGIES
 from repro.registry import ALL_REGISTRIES
 from repro.scenario import ScenarioSpec, format_scenario_records, run_scenario
@@ -97,10 +98,12 @@ def _execute(args: argparse.Namespace, resume: bool, require_artifact: bool) -> 
         overrides["collect_workers"] = args.collect_workers
     if args.probe_strategy is not None:
         overrides["probe_strategy"] = args.probe_strategy
+    if args.backend is not None:
+        overrides["backend"] = args.backend
     if overrides:
         # rebuild (rather than mutate) so the spec's own validation runs on
-        # the overrides; both knobs are execution details, excluded from the
-        # document digest, so an existing artifact stays resumable
+        # the overrides; all these knobs are execution details, excluded from
+        # the document digest, so an existing artifact stays resumable
         scenario = dataclasses.replace(scenario, **overrides)
     store = args.store or _default_store(scenario)
     if require_artifact and not os.path.exists(store):
@@ -214,6 +217,16 @@ def build_parser() -> argparse.ArgumentParser:
         "bit-stable arithmetic); default: each scheme's own default",
     )
     run_parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help="array-compute backend for the hot kernels: 'numpy' (the "
+        "bit-stable reference), 'fast' (single-pass pure-numpy rewrites, "
+        "statistically equivalent) or 'numba' (JIT loops when numba is "
+        "installed, else falls back to numpy with a warning); overrides the "
+        "scenario's 'backend'; default: the scenario's setting, else numpy",
+    )
+    run_parser.add_argument(
         "--store",
         default=None,
         help="run-artifact path (default: runs/<scenario name>.json)",
@@ -246,6 +259,7 @@ def build_parser() -> argparse.ArgumentParser:
     resume_parser.add_argument(
         "--probe-strategy", choices=PROBE_STRATEGIES, default=None
     )
+    resume_parser.add_argument("--backend", choices=BACKENDS, default=None)
     resume_parser.add_argument("--store", default=None)
     resume_parser.add_argument("--profile", action="store_true")
     resume_parser.add_argument("--quiet", action="store_true")

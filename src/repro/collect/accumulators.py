@@ -16,6 +16,7 @@ from typing import Any, Dict, Iterable, List, Mapping
 
 import numpy as np
 
+from repro.backends import get_backend
 from repro.utils.discretization import BucketGrid
 from repro.utils.validation import check_integer
 
@@ -177,10 +178,17 @@ class HistogramAccumulator:
         # sits underneath — the same error family ExactSum raises
         if not np.all(np.isfinite(values)):
             raise ValueError("HistogramAccumulator requires finite values")
-        idx = self.grid.assign(values)
-        self.counts += np.bincount(idx, minlength=self.grid.n_buckets)
+        counts, chunk_sum = get_backend().histogram_chunk(values, self.grid)
+        self.counts += counts
         if self._sum is not None:
-            self._sum.add(values)
+            if chunk_sum is None:
+                # reference path: exact, chunking-invariant fsum over values
+                self._sum.add(values)
+            else:
+                # fast path: the backend pre-reduced the chunk to one float;
+                # the scalar folds into the same partials representation, so
+                # shard snapshots and merges behave identically
+                self._sum.add_value(chunk_sum)
         self.n_values += int(values.size)
         return self
 
@@ -251,12 +259,10 @@ class CategoryCountAccumulator:
         reports = np.asarray(reports, dtype=int).ravel()
         if reports.size == 0:
             return self
-        if reports.min() < 0 or reports.max() >= self.n_categories:
-            raise ValueError(
-                f"category reports must lie in [0, {self.n_categories}), got range "
-                f"[{reports.min()}, {reports.max()}]"
-            )
-        self.counts += np.bincount(reports, minlength=self.n_categories)
+        # the backend validates the report range (reference: explicit min/max
+        # check; fast: bincount's own negative check plus a length check) and
+        # raises the same error message either way
+        self.counts += get_backend().category_chunk(reports, self.n_categories)
         return self
 
     def merge(self, other: "CategoryCountAccumulator") -> "CategoryCountAccumulator":

@@ -39,6 +39,7 @@ from typing import Callable, Iterable, List, Literal, Sequence, Tuple
 import numpy as np
 
 from repro.attacks.base import Attack, NoAttack
+from repro.backends import get_backend, use_backend
 from repro.collect.accumulators import GroupAccumulator, GroupStats
 from repro.collect.sharding import (
     DEFAULT_SHARD_BLOCK,
@@ -299,12 +300,17 @@ class DAPProtocol:
             pieces = []
             if normal_members.size:
                 values = np.repeat(normal_values[normal_members], repeats)
-                pieces.append(mechanism.perturb(values, rng))
+                with stage("collect.sample"):
+                    pieces.append(mechanism.perturb(values, rng))
             if byzantine_members.size:
                 reference = self._reference_mean(mechanism)
-                poison = attack.poison_reports(
-                    int(byzantine_members.size) * repeats, mechanism, reference, rng
-                ).reports
+                with stage("collect.poison"):
+                    poison = attack.poison_reports(
+                        int(byzantine_members.size) * repeats,
+                        mechanism,
+                        reference,
+                        rng,
+                    ).reports
                 pieces.append(poison)
             reports = np.concatenate(pieces) if pieces else np.empty(0)
             groups.append(
@@ -438,9 +444,10 @@ class DAPProtocol:
                     continue
                 repeats = self._reports_per_user(epsilon_t)
                 mechanism = self.mechanism_for(epsilon_t)
-                accumulators[group_index].update(
-                    mechanism.perturb(np.repeat(values, repeats), rng)
-                )
+                with stage("collect.sample"):
+                    reports = mechanism.perturb(np.repeat(values, repeats), rng)
+                with stage("collect.accumulate"):
+                    accumulators[group_index].update(reports)
         if consumed != n_normal:
             raise ValueError(
                 f"value stream yielded {consumed} normal values, expected "
@@ -454,10 +461,19 @@ class DAPProtocol:
             mechanism = self.mechanism_for(epsilon_t)
             reference = self._reference_mean(mechanism)
             n_poison = n_byz * self._reports_per_user(epsilon_t)
-            for piece in attack.poison_report_chunks(
+            chunks = attack.poison_report_chunks(
                 n_poison, mechanism, reference, rng, chunk_size=poison_chunk_size
-            ):
-                accumulators[group_index].update(piece)
+            )
+            # drive the generator with next() so the poison drawing and the
+            # accumulator update land in their own sub-timers (a for-loop
+            # would charge the draw of chunk i+1 to the accumulate stage)
+            while True:
+                with stage("collect.poison"):
+                    piece = next(chunks, None)
+                if piece is None:
+                    break
+                with stage("collect.accumulate"):
+                    accumulators[group_index].update(piece)
         return accumulators
 
     # ------------------------------------------------------------------
@@ -544,11 +560,16 @@ class DAPProtocol:
                 n_byz_part * repeats
             )
 
+        # shard workers run in their own processes, so the parent's active
+        # backend travels with the task (the name of what actually runs —
+        # a numba request without numba has already fallen back by here)
+        backend_name = get_backend().name
         tasks = [
             _ShardTask(
                 config=self.config,
                 attack=attack,
                 block_size=block_size,
+                backend=backend_name,
                 groups=tuple(
                     _ShardGroupPayload(
                         group_index=piece.group_index,
@@ -909,6 +930,7 @@ class _ShardTask:
     attack: Attack
     block_size: int
     groups: Tuple[_ShardGroupPayload, ...]
+    backend: str = "numpy"
 
 
 def _run_shard(task: _ShardTask) -> List[Tuple[int, dict]]:
@@ -916,8 +938,15 @@ def _run_shard(task: _ShardTask) -> List[Tuple[int, dict]]:
 
     Every block is perturbed (or poisoned) with a fresh generator seeded by
     its pre-drawn block seed, so the output depends only on the task — never
-    on which process ran it or what ran before.
+    on which process ran it or what ran before.  The task also carries the
+    submitting process's array backend, re-applied here so pooled shards
+    sample with the same kernels as in-process ones.
     """
+    with use_backend(task.backend):
+        return _run_shard_inner(task)
+
+
+def _run_shard_inner(task: _ShardTask) -> List[Tuple[int, dict]]:
     protocol = DAPProtocol(task.config)
     block = task.block_size
     states: List[Tuple[int, dict]] = []
@@ -938,11 +967,12 @@ def _run_shard(task: _ShardTask) -> List[Tuple[int, dict]]:
             chunk = payload.values[index * block : (index + 1) * block]
             if not chunk.size:
                 continue
-            accumulator.update(
-                mechanism.perturb(
+            with stage("collect.sample"):
+                reports = mechanism.perturb(
                     np.repeat(chunk, repeats), np.random.default_rng(int(seed))
                 )
-            )
+            with stage("collect.accumulate"):
+                accumulator.update(reports)
         if payload.n_byzantine:
             reference = protocol._reference_mean(mechanism)
             remaining = payload.n_byzantine
@@ -951,14 +981,15 @@ def _run_shard(task: _ShardTask) -> List[Tuple[int, dict]]:
                 remaining -= n_users_block
                 if not n_users_block:
                     continue
-                accumulator.update(
-                    task.attack.poison_reports(
+                with stage("collect.poison"):
+                    poison = task.attack.poison_reports(
                         n_users_block * repeats,
                         mechanism,
                         reference,
                         np.random.default_rng(int(seed)),
                     ).reports
-                )
+                with stage("collect.accumulate"):
+                    accumulator.update(poison)
         states.append((payload.group_index, accumulator.state_dict()))
     return states
 

@@ -27,6 +27,7 @@ from typing import Iterable, List, Literal, Sequence, Tuple
 
 import numpy as np
 
+from repro.backends import get_backend, use_backend
 from repro.collect.accumulators import CategoryCountAccumulator
 from repro.collect.sharding import (
     DEFAULT_SHARD_BLOCK,
@@ -156,7 +157,8 @@ class FrequencyDAP:
         """
         rng = ensure_rng(rng)
         normal_categories = np.asarray(normal_categories, dtype=int)
-        reports = [self.mechanism.perturb(normal_categories, rng)]
+        with stage("collect.sample"):
+            reports = [self.mechanism.perturb(normal_categories, rng)]
         n_byzantine = check_integer(n_byzantine, "n_byzantine", minimum=0)
         if n_byzantine:
             if not poisoned_categories:
@@ -164,7 +166,8 @@ class FrequencyDAP:
                     "poisoned_categories must be provided when n_byzantine > 0"
                 )
             targets = np.asarray(list(poisoned_categories), dtype=int)
-            poison = targets[rng.integers(0, targets.size, size=n_byzantine)]
+            with stage("collect.poison"):
+                poison = targets[rng.integers(0, targets.size, size=n_byzantine)]
             reports.append(poison)
         return np.concatenate(reports)
 
@@ -189,7 +192,10 @@ class FrequencyDAP:
         for chunk in category_chunks:
             chunk = np.asarray(chunk, dtype=int).ravel()
             if chunk.size:
-                accumulator.update(self.mechanism.perturb(chunk, rng))
+                with stage("collect.sample"):
+                    reports = self.mechanism.perturb(chunk, rng)
+                with stage("collect.accumulate"):
+                    accumulator.update(reports)
         n_byzantine = check_integer(n_byzantine, "n_byzantine", minimum=0)
         if n_byzantine:
             if not poisoned_categories:
@@ -198,9 +204,10 @@ class FrequencyDAP:
                 )
             targets = np.asarray(list(poisoned_categories), dtype=int)
             for start, stop in iter_chunks(n_byzantine, poison_chunk_size):
-                accumulator.update(
-                    targets[rng.integers(0, targets.size, size=stop - start)]
-                )
+                with stage("collect.poison"):
+                    poison = targets[rng.integers(0, targets.size, size=stop - start)]
+                with stage("collect.accumulate"):
+                    accumulator.update(poison)
         return accumulator
 
     @profiled_stage("collect")
@@ -239,6 +246,7 @@ class FrequencyDAP:
             rng=rng,
             block_size=block_size,
         )
+        backend_name = get_backend().name
         tasks = []
         for shard_index in range(plan.n_shards):
             slices = plan.shard(shard_index)
@@ -257,6 +265,7 @@ class FrequencyDAP:
                     byzantine_seeds=piece.byzantine_seeds,
                     targets=targets,
                     block_size=block_size,
+                    backend=backend_name,
                 )
             )
         accumulator = CategoryCountAccumulator(self.n_categories)
@@ -554,10 +563,16 @@ class _FrequencyShardTask:
     byzantine_seeds: Tuple[int, ...]
     targets: np.ndarray
     block_size: int
+    backend: str = "numpy"
 
 
 def _run_frequency_shard(task: _FrequencyShardTask) -> dict:
     """Perturb + poison one shard into a category-count snapshot."""
+    with use_backend(task.backend):
+        return _run_frequency_shard_inner(task)
+
+
+def _run_frequency_shard_inner(task: _FrequencyShardTask) -> dict:
     mechanism = KRandomizedResponse(task.epsilon, task.n_categories)
     accumulator = CategoryCountAccumulator(task.n_categories)
     block = task.block_size
@@ -565,7 +580,10 @@ def _run_frequency_shard(task: _FrequencyShardTask) -> dict:
         chunk = task.categories[index * block : (index + 1) * block]
         if not chunk.size:
             continue
-        accumulator.update(mechanism.perturb(chunk, np.random.default_rng(int(seed))))
+        with stage("collect.sample"):
+            reports = mechanism.perturb(chunk, np.random.default_rng(int(seed)))
+        with stage("collect.accumulate"):
+            accumulator.update(reports)
     remaining = task.n_byzantine
     for seed in task.byzantine_seeds:
         n_users_block = min(block, remaining)
@@ -573,9 +591,12 @@ def _run_frequency_shard(task: _FrequencyShardTask) -> dict:
         if not n_users_block:
             continue
         block_rng = np.random.default_rng(int(seed))
-        accumulator.update(
-            task.targets[block_rng.integers(0, task.targets.size, size=n_users_block)]
-        )
+        with stage("collect.poison"):
+            poison = task.targets[
+                block_rng.integers(0, task.targets.size, size=n_users_block)
+            ]
+        with stage("collect.accumulate"):
+            accumulator.update(poison)
     return accumulator.state_dict()
 
 

@@ -213,10 +213,12 @@ def build_transform_matrix(
             "n_output_buckets or adjust reference_mean"
         )
 
-    poison_block = np.zeros((n_output_buckets, poison_indices.size))
-    poison_block[poison_indices, np.arange(poison_indices.size)] = 1.0
-
-    matrix = np.hstack([normal_block, poison_block])
+    # single allocation instead of a poison block + hstack copy: at paper
+    # scale the matrix is tens of MB, and this build sits on the per-trial
+    # hot path (the poison columns are one-hot, so a scatter fills them)
+    matrix = np.zeros((n_output_buckets, n_input_buckets + poison_indices.size))
+    matrix[:, :n_input_buckets] = normal_block
+    matrix[poison_indices, n_input_buckets + np.arange(poison_indices.size)] = 1.0
     return TransformMatrix(
         matrix=matrix,
         input_grid=input_grid,

@@ -280,11 +280,12 @@ def _load_completed_units(
     # *collection* knobs matter here: they change which randomness stream
     # computes the pending units, whereas probe_strategy changes solver
     # arithmetic only and consumes no randomness, so it never warrants the
-    # warning.
+    # warning.  The backend is a collection knob too — the fast backends'
+    # samplers consume the RNG stream differently from the reference.
     stored_raw = artifact.meta.get("execution") or {
         "chunk_size": legacy_chunk_size,
     }
-    collection_knobs = ("chunk_size", "collect_workers")
+    collection_knobs = ("chunk_size", "collect_workers", "backend")
     details = _execution_details(spec)
     current_execution = {key: details[key] for key in collection_knobs}
     stored_execution = {key: stored_raw.get(key) for key in collection_knobs}
@@ -330,6 +331,7 @@ def _execution_details(spec: ExperimentSpec) -> dict:
         "chunk_size": spec.chunk_size,
         "collect_workers": spec.collect_workers,
         "probe_strategy": getattr(spec, "probe_strategy", None),
+        "backend": getattr(spec, "backend", None),
     }
 
 

@@ -34,6 +34,7 @@ from typing import Any, Callable, List, Mapping, Sequence, Tuple
 import numpy as np
 
 from repro.attacks.base import Attack
+from repro.backends import check_backend, use_backend
 from repro.core.probing import check_probe_strategy
 from repro.datasets.base import NumericalDataset
 from repro.simulation.runner import (
@@ -101,6 +102,14 @@ class ExperimentSpec:
         ``collect_workers`` — probe selections are strategy-invariant — so
         it is recorded in artifact provenance but excluded from
         :meth:`fingerprint`.
+    backend:
+        Array-compute backend every work unit runs under (see
+        :data:`repro.backends.BACKENDS`); ``None`` keeps the process default
+        (the bit-stable ``"numpy"`` reference).  An execution detail like
+        ``probe_strategy`` — excluded from :meth:`fingerprint`, recorded in
+        ``meta.execution`` — but note the fast backends consume the RNG
+        stream differently, so a seeded run's records are statistically
+        equivalent rather than bit-identical across backends.
     seed:
         Default master seed used when the executor is not handed an explicit
         generator.
@@ -129,6 +138,7 @@ class ExperimentSpec:
     chunk_size: int | None = None
     collect_workers: int | None = None
     probe_strategy: str | None = None
+    backend: str | None = None
     seed: int | None = None
     description: str = ""
     fingerprint_extra: Mapping[str, Any] | None = None
@@ -167,6 +177,8 @@ class ExperimentSpec:
                 )
         if self.probe_strategy is not None:
             check_probe_strategy(self.probe_strategy)
+        if self.backend is not None:
+            check_backend(self.backend)
         if not self.is_point_granular():
             missing = [
                 label
@@ -225,6 +237,10 @@ class ExperimentSpec:
 
     def evaluate_unit(self, unit: Unit, trial_seeds: np.ndarray) -> List[Any]:
         """Evaluate one work unit and return its result records."""
+        with use_backend(self.backend):
+            return self._evaluate_unit(unit, trial_seeds)
+
+    def _evaluate_unit(self, unit: Unit, trial_seeds: np.ndarray) -> List[Any]:
         point_index, scheme_index = unit
         point = self.points[point_index]
         if self.is_point_granular():
@@ -287,7 +303,7 @@ class ExperimentSpec:
         epsilons, or other schemes) can never be mistaken for this one.
 
         Execution details — ``chunk_size``, ``collect_workers``,
-        ``probe_strategy``, and the executor's worker count — are
+        ``probe_strategy``, ``backend``, and the executor's worker count — are
         deliberately *not* part of the identity: the accumulators behind the
         streaming and sharded paths are chunking/merge-invariant and the
         probe strategies select the same hypotheses, so completed records

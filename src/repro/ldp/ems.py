@@ -29,6 +29,8 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.backends import get_backend
+
 MStep = Callable[[np.ndarray], np.ndarray]
 
 #: minimum dense work saved per iteration (indicator columns x output rows)
@@ -161,6 +163,7 @@ def em_reconstruct(
     """
     transform, counts, weights = _validate_em_inputs(transform, counts, initial)
     d_out, n_components = transform.shape
+    backend = get_backend()
 
     zero_mask = None
     if fixed_zero is not None:
@@ -200,24 +203,24 @@ def em_reconstruct(
         dense = np.ascontiguousarray(transform[:, :n_dense])
 
         def _mixture(w: np.ndarray) -> np.ndarray:
-            out = dense @ w[:n_dense]
+            out = backend.matvec(dense, w[:n_dense])
             if tail.size:
                 out[tail] += w[n_dense:]
             return out
 
         def _aggregate(v: np.ndarray) -> np.ndarray:
             out = np.empty(n_components)
-            out[:n_dense] = dense.T @ v
+            out[:n_dense] = backend.rmatvec(dense, v)
             out[n_dense:] = v[tail]
             return out
 
     else:
 
         def _mixture(w: np.ndarray) -> np.ndarray:
-            return transform @ w
+            return backend.matvec(transform, w)
 
         def _aggregate(v: np.ndarray) -> np.ndarray:
-            return transform.T @ v
+            return backend.rmatvec(transform, v)
 
     # One matrix-vector product per iteration: the mixture computed for the
     # convergence check is exactly the mixture the next E-step needs, so it is
@@ -305,18 +308,19 @@ def em_reconstruct_accelerated(
     iterate-for-iterate sequence must be preserved.
     """
     transform, counts, weights = _validate_em_inputs(transform, counts, initial)
+    backend = get_backend()
 
     mask = counts > 0
     masked_counts = counts[mask]
 
     def _mixture(w: np.ndarray) -> np.ndarray:
-        return np.maximum(transform @ w, 1e-300)
+        return np.maximum(backend.matvec(transform, w), 1e-300)
 
     def _log_likelihood(m: np.ndarray) -> float:
         return float(np.dot(masked_counts, np.log(m[mask])))
 
     def _em_step(w: np.ndarray, m: np.ndarray) -> Optional[np.ndarray]:
-        out = w * (transform.T @ (counts / m))
+        out = w * backend.rmatvec(transform, counts / m)
         total = out.sum()
         if total <= 0:
             return None
@@ -328,7 +332,7 @@ def em_reconstruct_accelerated(
     converged = False
     while iteration < max_iter:
         if gap_tol is not None:
-            gradient = transform.T @ (counts / mixture)
+            gradient = backend.rmatvec(transform, counts / mixture)
             gap = float(gradient.max() - np.dot(weights, gradient))
             if gap < gap_tol:
                 converged = True
@@ -520,6 +524,7 @@ def em_reconstruct_batch(
             )
     n_components = n_dense + n_tail
     real_counts = n_dense + tail_mask.sum(axis=1)
+    backend = get_backend()
 
     if initial is None:
         weights = np.repeat(1.0 / real_counts[:, None], n_components, axis=1)
@@ -548,7 +553,7 @@ def em_reconstruct_batch(
     # scatters into the full arrays per iteration.
     def _mixtures(w: np.ndarray, rows: np.ndarray, index: np.ndarray) -> np.ndarray:
         """Clamped mixtures for the active block: one GEMM + column scatters."""
-        out = w[:, :n_dense] @ dense.T
+        out = backend.matmul(w[:, :n_dense], dense.T)
         # one fancy-indexed add per tail column: (row, column) pairs within a
         # single assignment are unique, and padded columns add exact zeros
         for t in range(n_tail):
@@ -653,7 +658,7 @@ def em_reconstruct_batch(
         iteration += 1
         ratios = counts / mixtures  # zero counts contribute zero everywhere
         aggregates = np.empty((active.size, n_components))
-        np.matmul(ratios, dense, out=aggregates[:, :n_dense])
+        backend.matmul(ratios, dense, out=aggregates[:, :n_dense])
         for t in range(n_tail):
             aggregates[:, n_dense + t] = ratios[index, rows_active[:, t]]
         responsibilities = w_active * aggregates

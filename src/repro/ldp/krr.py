@@ -17,6 +17,7 @@ import math
 
 import numpy as np
 
+from repro.backends import get_backend
 from repro.ldp.base import CategoricalMechanism, MechanismError
 from repro.registry import MECHANISMS
 from repro.utils.rng import RngLike, ensure_rng
@@ -37,14 +38,9 @@ class KRandomizedResponse(CategoricalMechanism):
     def perturb(self, categories: np.ndarray, rng: RngLike = None) -> np.ndarray:
         rng = ensure_rng(rng)
         categories = self._validate_categories(categories)
-        n = categories.size
-        keep = rng.random(n) < self.p
-        # when flipping, draw uniformly among the other k-1 categories
-        random_other = rng.integers(0, self.n_categories - 1, size=n)
-        random_other = np.where(
-            random_other >= categories.ravel(), random_other + 1, random_other
+        out = get_backend().krr_sample(
+            categories.ravel(), self.n_categories, self.p, rng
         )
-        out = np.where(keep, categories.ravel(), random_other)
         return out.reshape(categories.shape)
 
     def report_counts(self, reports: np.ndarray) -> np.ndarray:

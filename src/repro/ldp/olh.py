@@ -18,6 +18,7 @@ import math
 
 import numpy as np
 
+from repro.backends import get_backend
 from repro.ldp.base import CategoricalMechanism, MechanismError
 from repro.registry import MECHANISMS
 from repro.utils.rng import RngLike, ensure_rng
@@ -52,14 +53,9 @@ class OptimizedLocalHashing(CategoricalMechanism):
         """Perturb categories into ``(n, 2)`` arrays of ``(hash_seed, report)``."""
         rng = ensure_rng(rng)
         categories = self._validate_categories(categories).ravel()
-        n = categories.size
-        seeds = rng.integers(0, 2**32 - 1, size=n, dtype=np.uint64)
-        hashed = _hash_categories(categories, seeds, self.g)
-        keep = rng.random(n) < self.p
-        random_other = rng.integers(0, self.g - 1, size=n)
-        random_other = np.where(random_other >= hashed, random_other + 1, random_other)
-        reports = np.where(keep, hashed, random_other)
-        return np.column_stack([seeds.astype(np.int64), reports.astype(np.int64)])
+        return get_backend().olh_sample(
+            categories, self.g, self.p, _hash_categories, rng
+        )
 
     def estimate_frequencies(self, reports: np.ndarray) -> np.ndarray:
         """Unbiased frequency estimates from ``(seed, report)`` pairs."""
@@ -73,14 +69,13 @@ class OptimizedLocalHashing(CategoricalMechanism):
             raise MechanismError("cannot estimate frequencies from zero reports")
         seeds = reports[:, 0].astype(np.uint64)
         observed = reports[:, 1].astype(np.int64)
-        # one broadcast over the (category, user) grid: row j holds every
-        # user's hash of candidate category j, so support counting is a
-        # single vectorised comparison instead of a per-category pass
-        categories = np.arange(self.n_categories, dtype=np.int64)[:, np.newaxis]
-        hashed = _hash_categories(categories, seeds[np.newaxis, :], self.g)
-        support = np.count_nonzero(hashed == observed[np.newaxis, :], axis=1).astype(
-            float
-        )
+        # support counting compares each user's report against the hash of
+        # every candidate category; the backend tiles the (category, user)
+        # grid over bounded user chunks, so memory stays O(k * tile) instead
+        # of the k x n broadcast (count-identical whatever the tile size)
+        support = get_backend().olh_support(
+            seeds, observed, self.n_categories, self.g, _hash_categories
+        ).astype(float)
         support /= n
         return (support - self.q) / (self.p - self.q)
 

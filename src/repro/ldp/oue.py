@@ -16,6 +16,7 @@ import math
 
 import numpy as np
 
+from repro.backends import get_backend
 from repro.ldp.base import CategoricalMechanism, MechanismError
 from repro.registry import MECHANISMS
 from repro.utils.rng import RngLike, ensure_rng
@@ -37,11 +38,9 @@ class OptimizedUnaryEncoding(CategoricalMechanism):
         """Perturb categories into bit matrices of shape ``(n, k)``."""
         rng = ensure_rng(rng)
         categories = self._validate_categories(categories).ravel()
-        n = categories.size
-        bits = rng.random((n, self.n_categories)) < self.q
-        keep_one = rng.random(n) < self.p
-        bits[np.arange(n), categories] = keep_one
-        return bits.astype(np.int8)
+        return get_backend().oue_sample(
+            categories, self.n_categories, self.p, self.q, rng
+        )
 
     def estimate_frequencies(self, reports: np.ndarray) -> np.ndarray:
         """Unbiased frequency estimates from perturbed bit matrices."""

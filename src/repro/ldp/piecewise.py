@@ -33,6 +33,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.backends import get_backend
 from repro.ldp.base import NumericalMechanism
 from repro.registry import MECHANISMS
 from repro.utils.rng import RngLike, ensure_rng
@@ -73,36 +74,21 @@ class PiecewiseMechanism(NumericalMechanism):
     # sampling
     # ------------------------------------------------------------------
     def perturb(self, values: np.ndarray, rng: RngLike = None) -> np.ndarray:
-        """Perturb a batch of values (Algorithm 1 of the paper)."""
+        """Perturb a batch of values (Algorithm 1 of the paper).
+
+        The sampling kernel itself lives on the active array backend
+        (:func:`repro.backends.get_backend`): the default numpy backend is
+        bit-identical to the historical implementation, fast backends sample
+        the same distribution through a single-pass inverse CDF.
+        """
         rng = ensure_rng(rng)
         values = self._validate_inputs(values)
-        n = values.size
-        left, right = self.high_band(values)
-
-        outputs = np.empty(n, dtype=float)
-        in_band = rng.random(n) < self.high_prob
-
-        # high-probability band: uniform on [l(v), r(v)]
-        n_in = int(in_band.sum())
-        if n_in:
-            u = rng.random(n_in)
-            outputs[in_band] = left[in_band] + u * (right[in_band] - left[in_band])
-
-        # low-probability region: uniform on [-C, l(v)) U (r(v), C]
-        out_band = ~in_band
-        n_out = int(out_band.sum())
-        if n_out:
-            l_out = left[out_band]
-            r_out = right[out_band]
-            left_len = l_out + self.C          # length of [-C, l(v))
-            right_len = self.C - r_out         # length of (r(v), C]
-            total_len = left_len + right_len
-            u = rng.random(n_out) * total_len
-            take_left = u < left_len
-            sample = np.where(take_left, -self.C + u, r_out + (u - left_len))
-            outputs[out_band] = sample
-
-        return outputs.reshape(np.asarray(values).shape)
+        flat = values.ravel()
+        left, right = self.high_band(flat)
+        outputs = get_backend().pm_sample(
+            flat, left, right, self.C, self.high_prob, self._p_high, self._p_low, rng
+        )
+        return outputs.reshape(values.shape)
 
     # ------------------------------------------------------------------
     # analytics

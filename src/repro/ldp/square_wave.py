@@ -25,6 +25,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.backends import get_backend
 from repro.ldp.base import NumericalMechanism
 from repro.registry import MECHANISMS
 from repro.utils.discretization import BucketGrid
@@ -62,28 +63,7 @@ class SquareWaveMechanism(NumericalMechanism):
         rng = ensure_rng(rng)
         values = self._validate_inputs(values)
         flat = values.ravel()
-        n = flat.size
-        out = np.empty(n, dtype=float)
-
-        window_mass = 2.0 * self.b * self._p_high
-        in_window = rng.random(n) < window_mass
-
-        n_in = int(in_window.sum())
-        if n_in:
-            out[in_window] = flat[in_window] + rng.uniform(-self.b, self.b, size=n_in)
-
-        out_window = ~in_window
-        n_out = int(out_window.sum())
-        if n_out:
-            v = flat[out_window]
-            left_len = (v - self.b) - (-self.b)        # = v
-            right_len = (1.0 + self.b) - (v + self.b)  # = 1 - v
-            total_len = left_len + right_len
-            u = rng.random(n_out) * total_len
-            take_left = u < left_len
-            sample = np.where(take_left, -self.b + u, v + self.b + (u - left_len))
-            out[out_window] = sample
-
+        out = get_backend().sw_sample(flat, self.b, self._p_high, self._p_low, rng)
         return out.reshape(values.shape)
 
     # ------------------------------------------------------------------

@@ -40,6 +40,7 @@ from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple
 import numpy as np
 
 from repro.attacks.base import Attack
+from repro.backends import check_backend
 from repro.attacks.distributions import (
     BetaPoison,
     GaussianPoison,
@@ -195,6 +196,7 @@ SCENARIO_KEYS = (
     "chunk_size",
     "collect_workers",
     "probe_strategy",
+    "backend",
     "population",
 )
 
@@ -252,6 +254,13 @@ class ScenarioSpec:
         strategy-invariant — so it is likewise excluded from
         :meth:`document` and the resume digest, and recorded only as
         artifact provenance.
+    backend:
+        Array-compute backend the run executes under (see
+        :data:`repro.backends.BACKENDS`); ``None`` keeps the process default
+        (the bit-stable ``"numpy"`` reference).  An execution detail like
+        ``probe_strategy`` — excluded from :meth:`document` and the resume
+        digest, recorded only in ``meta.execution`` — though the fast
+        backends draw statistically equivalent (not bit-identical) samples.
     """
 
     name: str
@@ -270,6 +279,7 @@ class ScenarioSpec:
     chunk_size: int | None = None
     collect_workers: int | None = None
     probe_strategy: str | None = None
+    backend: str | None = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -320,6 +330,8 @@ class ScenarioSpec:
                 )
         if self.probe_strategy is not None:
             check_probe_strategy(self.probe_strategy)
+        if self.backend is not None:
+            check_backend(self.backend)
 
     # ------------------------------------------------------------------
     # construction from documents
@@ -353,7 +365,7 @@ class ScenarioSpec:
         }
         for key in ("description", "attacks", "datasets", "gammas", "seed",
                     "epsilon_min", "batched", "chunk_size", "collect_workers",
-                    "probe_strategy"):
+                    "probe_strategy", "backend"):
             if key in payload:
                 kwargs[key] = payload[key]
         n_trials = payload.get("trials", payload.get("n_trials"))
@@ -383,11 +395,12 @@ class ScenarioSpec:
         Captures every knob that affects results — including seed,
         epsilon_min and per-component params — so its digest identifies the
         scenario for artifact resume.  Execution details (``chunk_size``,
-        ``collect_workers``, ``probe_strategy``) are deliberately excluded,
-        like the executor's ``n_workers``: completed records are reusable
-        verbatim whichever collection path computes the rest, so a run
-        started in memory must stay resumable with ``--chunk-size``,
-        ``--collect-workers`` or ``--probe-strategy`` set.
+        ``collect_workers``, ``probe_strategy``, ``backend``) are
+        deliberately excluded, like the executor's ``n_workers``: completed
+        records are reusable verbatim whichever collection path computes the
+        rest, so a run started in memory must stay resumable with
+        ``--chunk-size``, ``--collect-workers``, ``--probe-strategy`` or
+        ``--backend`` set.
         """
         return {
             "name": self.name,
@@ -465,6 +478,7 @@ class ScenarioSpec:
             chunk_size=self.chunk_size,
             collect_workers=self.collect_workers,
             probe_strategy=self.probe_strategy,
+            backend=self.backend,
             seed=self.seed,
             fingerprint_extra={"scenario_digest": self.digest()},
         )

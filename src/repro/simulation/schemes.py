@@ -205,10 +205,12 @@ class SingleRoundScheme(Scheme):
         rng = ensure_rng(rng)
         attack = attack or NoAttack()
         with stage("collect"):
-            normal_reports = self.mechanism.perturb(population.normal_values, rng)
-            poison_reports = attack.poison_reports(
-                population.n_byzantine, self.mechanism, 0.0, rng
-            ).reports
+            with stage("collect.sample"):
+                normal_reports = self.mechanism.perturb(population.normal_values, rng)
+            with stage("collect.poison"):
+                poison_reports = attack.poison_reports(
+                    population.n_byzantine, self.mechanism, 0.0, rng
+                ).reports
             reports = np.concatenate([normal_reports, poison_reports])
         with stage("defense"):
             return self.defense.estimate_mean(reports, self.mechanism, rng).estimate
@@ -232,17 +234,20 @@ class SingleRoundScheme(Scheme):
         with stage("collect"):
             normal_sizes = np.array([p.n_normal for p in populations])
             stacked = np.concatenate([p.normal_values for p in populations])
-            normal_reports = np.split(
-                self.mechanism.perturb(stacked, rng), np.cumsum(normal_sizes)[:-1]
-            )
+            with stage("collect.sample"):
+                perturbed = self.mechanism.perturb(stacked, rng)
+            normal_reports = np.split(perturbed, np.cumsum(normal_sizes)[:-1])
 
             byzantine_sizes = np.array([p.n_byzantine for p in populations])
             total_byzantine = int(byzantine_sizes.sum())
-            poison_all = (
-                attack.poison_reports(total_byzantine, self.mechanism, 0.0, rng).reports
-                if total_byzantine
-                else np.empty(0)
-            )
+            with stage("collect.poison"):
+                poison_all = (
+                    attack.poison_reports(
+                        total_byzantine, self.mechanism, 0.0, rng
+                    ).reports
+                    if total_byzantine
+                    else np.empty(0)
+                )
             poison_reports = np.split(poison_all, np.cumsum(byzantine_sizes)[:-1])
 
         with stage("defense"):

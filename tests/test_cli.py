@@ -324,6 +324,108 @@ class TestProbeStrategy:
         assert "--probe-strategy" in result.stderr
 
 
+class TestBackend:
+    def test_flag_recorded_as_execution_detail(self, scenario_file, tmp_path):
+        store = tmp_path / "artifact.json"
+        result = run_cli(
+            "run", str(scenario_file), "--quiet", "--backend", "fast",
+            "--store", str(store),
+        )
+        assert result.returncode == 0, result.stderr
+        artifact = load_run(store)
+        assert artifact.meta["execution"]["backend"] == "fast"
+        assert "backend" not in artifact.meta["fingerprint"]
+
+    def test_numpy_backend_matches_default_bit_for_bit(self, scenario_file, tmp_path):
+        """The numpy backend *is* the reference: selecting it explicitly must
+        not change a single record."""
+        default, numpy_store = tmp_path / "default.json", tmp_path / "numpy.json"
+        assert (
+            run_cli(
+                "run", str(scenario_file), "--quiet", "--store", str(default)
+            ).returncode
+            == 0
+        )
+        assert (
+            run_cli(
+                "run", str(scenario_file), "--quiet", "--backend", "numpy",
+                "--store", str(numpy_store),
+            ).returncode
+            == 0
+        )
+        a, b = json.loads(default.read_text()), json.loads(numpy_store.read_text())
+        assert a["columns"] == b["columns"]
+
+    def test_backend_is_an_execution_detail_for_resume(self, scenario_file, tmp_path):
+        store = tmp_path / "artifact.json"
+        assert (
+            run_cli("run", str(scenario_file), "--quiet", "--store", str(store))
+            .returncode
+            == 0
+        )
+        before = load_run(store)
+        # a complete artifact resumed under another backend reuses every
+        # record verbatim (the knob is not part of the fingerprint)
+        result = run_cli(
+            "resume", str(scenario_file), "--quiet", "--backend", "fast",
+            "--store", str(store),
+        )
+        assert result.returncode == 0, result.stderr
+        after = load_run(store)
+        assert [
+            (r.point, r.scheme, r.mse, r.bias) for r in after.records
+        ] == [(r.point, r.scheme, r.mse, r.bias) for r in before.records]
+        assert after.meta["execution"]["backend"] == "fast"
+
+    def test_partial_resume_under_different_backend_warns(
+        self, scenario_file, tmp_path
+    ):
+        store = tmp_path / "artifact.json"
+        assert (
+            run_cli("run", str(scenario_file), "--quiet", "--store", str(store))
+            .returncode
+            == 0
+        )
+        payload = json.loads(store.read_text())
+        kept = [
+            i for i, s in enumerate(payload["columns"]["scheme"]) if s == "Ostrich"
+        ]
+        payload["columns"] = {
+            key: [column[i] for i in kept]
+            for key, column in payload["columns"].items()
+        }
+        store.write_text(json.dumps(payload))
+        result = run_cli(
+            "resume", str(scenario_file), "--quiet", "--backend", "fast",
+            "--store", str(store),
+        )
+        assert result.returncode == 0, result.stderr
+        assert "partial artifact" in result.stderr
+
+    def test_numba_backend_falls_back_with_warning(self, scenario_file, tmp_path):
+        """Without numba installed the run must still succeed, warning once
+        and recording the requested knob."""
+        try:
+            import numba  # noqa: F401
+        except ImportError:
+            pass
+        else:
+            pytest.skip("numba is installed; the fallback path never fires")
+        store = tmp_path / "artifact.json"
+        result = run_cli(
+            "run", str(scenario_file), "--quiet", "--backend", "numba",
+            "--store", str(store),
+        )
+        assert result.returncode == 0, result.stderr
+        assert "numba is not installed" in result.stderr
+        assert load_run(store).meta["execution"]["backend"] == "numba"
+
+    def test_rejects_unknown_backend(self, scenario_file):
+        result = run_cli("run", str(scenario_file), "--backend", "gpu")
+        assert result.returncode == 2
+        assert "--backend" in result.stderr
+
+
 class TestProfile:
     def test_profile_recorded_in_artifact_and_printed(self, scenario_file, tmp_path):
         store = tmp_path / "artifact.json"
@@ -347,6 +449,36 @@ class TestProfile:
         assert result.returncode == 0, result.stderr
         profile = load_run(store).meta["execution"]["profile"]
         assert set(profile) >= {"collect", "probe", "aggregate"}
+
+    def test_profile_splits_collect_into_sub_timers(self, scenario_file, tmp_path):
+        store = tmp_path / "artifact.json"
+        result = run_cli(
+            "run", str(scenario_file), "--quiet", "--profile", "--store", str(store)
+        )
+        assert result.returncode == 0, result.stderr
+        profile = load_run(store).meta["execution"]["profile"]
+        assert {"collect", "collect.sample", "collect.poison"} <= set(profile)
+        # the sub-timers nest *inside* collect: they attribute its total,
+        # never add to it
+        assert (
+            profile["collect.sample"] + profile["collect.poison"]
+            <= profile["collect"] + 1e-6
+        )
+
+    def test_streaming_profile_covers_accumulation(self, tmp_path):
+        scenario = dict(DAP_SCENARIO, name="dap_stream")
+        path = tmp_path / "dap_stream.json"
+        path.write_text(json.dumps(scenario))
+        store = tmp_path / "artifact.json"
+        result = run_cli(
+            "run", str(path), "--quiet", "--profile", "--chunk-size", "128",
+            "--store", str(store),
+        )
+        assert result.returncode == 0, result.stderr
+        profile = load_run(store).meta["execution"]["profile"]
+        assert {
+            "collect", "collect.sample", "collect.poison", "collect.accumulate"
+        } <= set(profile)
 
     def test_no_profile_key_without_flag(self, scenario_file, tmp_path):
         store = tmp_path / "artifact.json"

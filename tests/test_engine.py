@@ -302,6 +302,36 @@ class TestStore:
             warnings.simplefilter("error")
             run_experiment(spec, rng=5, store_path=path)
 
+    def test_partial_resume_under_different_backend_warns(self, dataset, tmp_path):
+        """The backend is a collection knob: the fast samplers consume the
+        RNG stream differently, so a partial artifact resumed under another
+        backend is flagged exactly like a chunk-size change."""
+        import dataclasses
+        import json
+
+        path = tmp_path / "run.json"
+        spec = make_spec(dataset, batched=False, schemes=("Ostrich", "Trimming"))
+        first = run_experiment(spec, rng=5, store_path=path)
+
+        payload = json.loads(path.read_text())
+        kept = [
+            i for i, s in enumerate(payload["columns"]["scheme"]) if s == "Ostrich"
+        ]
+        payload["columns"] = {
+            key: [column[i] for i in kept]
+            for key, column in payload["columns"].items()
+        }
+        path.write_text(json.dumps(payload))
+
+        fast = dataclasses.replace(spec, backend="fast")
+        with pytest.warns(RuntimeWarning, match="partial artifact"):
+            resumed = run_experiment(fast, rng=5, store_path=path)
+        assert len(resumed) == len(first)
+        ostrich = lambda records: [
+            (r.point["epsilon"], repr(r.mse)) for r in records if r.scheme == "Ostrich"
+        ]
+        assert ostrich(resumed) == ostrich(first)
+
     def test_legacy_chunk_size_fingerprint_stays_resumable(
         self, dataset, tmp_path, monkeypatch
     ):
