@@ -1,0 +1,432 @@
+"""Sustained-throughput benchmark for the continuous-service runtime.
+
+Measures the windowed aggregation service (``repro.service``) on a long
+attack stream and *enforces* its three load-bearing claims, exiting nonzero
+if any fails:
+
+* **Bounded memory** — the service state is sufficient statistics only, so
+  peak RSS must stay flat as the cumulative population grows past 10^6
+  users (last-quarter peak vs first-quarter peak).
+* **Warm-started probing** — warm-starting each window's probe EMs from the
+  previous window's converged weights must select the same poisoned side in
+  every window as cold probing, and the steady-state (final third of the
+  stream) median per-window probe time must be >= 3x faster.
+* **Kill/resume bit-identity** — a service SIGKILLed mid-stream and resumed
+  from its checkpoint must finish with window results bit-identical to the
+  uninterrupted run (every deterministic field of every window).
+
+Alongside the gates it records sustained ingest throughput (reports/sec and
+users/sec over the whole run, checkpointing included) and steady-state
+window latency.
+
+Each full-stream measurement runs in a fresh subprocess under an
+address-space cap; the kill/resume scenario SIGKILLs a live child mid-stream
+(no cooperative shutdown) and resumes it in a new process.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --out BENCH_service.json
+    PYTHONPATH=src python benchmarks/bench_service.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import signal
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+
+EPSILON = 1.0
+GAMMA = 0.25
+SEED = 7
+DEFAULT_WINDOWS = 24
+DEFAULT_WINDOW_SIZE = 50_000
+QUICK_WINDOWS = 8
+QUICK_WINDOW_SIZE = 5_000
+#: the window after which the kill/resume child is SIGKILLed
+KILL_AFTER_FRACTION = 0.4
+
+#: window fields that must be bit-identical across kill/resume
+DETERMINISTIC_FIELDS = (
+    "window",
+    "n_users_cum",
+    "n_reports_cum",
+    "estimate",
+    "gamma_hat",
+    "poisoned_side",
+    "window_gamma",
+    "detector_score",
+    "flagged",
+    "warm",
+)
+
+
+def bench_spec(warm: bool, n_windows: int, window_size: int):
+    from repro.service import ServiceSpec
+
+    return ServiceSpec(
+        name=f"bench_service_{'warm' if warm else 'cold'}",
+        epsilon=EPSILON,
+        window_size=window_size,
+        n_windows=n_windows,
+        dataset="Uniform",
+        attack={"name": "bba", "poison_range": "[C/2,C]"},
+        gamma=GAMMA,
+        attack_start=0,
+        seed=SEED,
+        warm_probe=warm,
+    )
+
+
+def run_single(
+    mode: str,
+    n_windows: int,
+    window_size: int,
+    checkpoint: str,
+    mem_limit_gb: float,
+) -> dict:
+    """Child entry point: run the full stream (resuming any checkpoint)."""
+    if mem_limit_gb > 0:
+        limit = int(mem_limit_gb * 1024**3)
+        resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+
+    from repro.service import run_service
+
+    spec = bench_spec(mode == "warm", n_windows, window_size)
+    start = time.perf_counter()
+    result = run_service(spec, checkpoint_path=checkpoint or None)
+    elapsed = time.perf_counter() - start
+    rows = [row.to_dict() for row in result.windows]
+    computed = [row for row in rows if row["window"] >= result.resumed_from]
+    return {
+        "mode": mode,
+        "ok": True,
+        "n_windows": n_windows,
+        "window_size": window_size,
+        "resumed_from": result.resumed_from,
+        "wall_time_s": round(elapsed, 3),
+        "users_per_s": round(len(computed) * window_size / elapsed, 1),
+        "reports_per_s": round(
+            (rows[-1]["n_reports_cum"] - (
+                rows[result.resumed_from - 1]["n_reports_cum"]
+                if result.resumed_from
+                else 0
+            ))
+            / elapsed,
+            1,
+        ),
+        "flagged_window": result.flagged_window,
+        "windows": rows,
+    }
+
+
+def child_command(
+    mode: str, n_windows: int, window_size: int, checkpoint: str, mem_limit_gb: float
+) -> list:
+    return [
+        sys.executable,
+        __file__,
+        "--single",
+        mode,
+        str(n_windows),
+        str(window_size),
+        checkpoint,
+        "--mem-limit-gb",
+        str(mem_limit_gb),
+    ]
+
+
+def run_child(
+    mode: str,
+    n_windows: int,
+    window_size: int,
+    checkpoint: str,
+    mem_limit_gb: float,
+    timeout_s: float,
+) -> dict:
+    start = time.perf_counter()
+    try:
+        child = subprocess.run(
+            child_command(mode, n_windows, window_size, checkpoint, mem_limit_gb),
+            capture_output=True,
+            text=True,
+            timeout=timeout_s,
+        )
+    except subprocess.TimeoutExpired:
+        return {"mode": mode, "ok": False, "error": f"timed out after {timeout_s:g}s"}
+    if child.returncode != 0:
+        tail = (child.stderr or "").strip().splitlines()
+        return {
+            "mode": mode,
+            "ok": False,
+            "error": tail[-1] if tail else f"exit code {child.returncode}",
+            "wall_time_s": round(time.perf_counter() - start, 3),
+        }
+    return json.loads(child.stdout)
+
+
+def run_kill_resume(
+    n_windows: int, window_size: int, mem_limit_gb: float, timeout_s: float
+) -> dict:
+    """SIGKILL a live service child mid-stream, then resume it to completion."""
+    kill_after = max(1, int(n_windows * KILL_AFTER_FRACTION))
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpoint = os.path.join(tmp, "bench.checkpoint.json")
+        victim = subprocess.Popen(
+            child_command("warm", n_windows, window_size, checkpoint, mem_limit_gb),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        deadline = time.monotonic() + timeout_s
+        killed_at = None
+        while time.monotonic() < deadline and victim.poll() is None:
+            if os.path.exists(checkpoint):
+                try:
+                    with open(checkpoint) as handle:
+                        progressed = json.load(handle).get("next_window", 0)
+                except (ValueError, OSError):
+                    progressed = 0  # mid-replace; retry
+                if progressed >= kill_after:
+                    victim.send_signal(signal.SIGKILL)
+                    killed_at = progressed
+                    break
+            time.sleep(0.02)
+        victim.wait()
+        if killed_at is None or killed_at >= n_windows:
+            return {
+                "mode": "kill-resume",
+                "ok": False,
+                "error": (
+                    "service finished before it could be killed mid-stream "
+                    f"(killed_at={killed_at})"
+                ),
+            }
+        report = run_child(
+            "warm", n_windows, window_size, checkpoint, mem_limit_gb, timeout_s
+        )
+    report["mode"] = "kill-resume"
+    report["killed_at_window"] = killed_at
+    return report
+
+
+def deterministic_rows(report: dict) -> list:
+    return [
+        {key: row[key] for key in DETERMINISTIC_FIELDS}
+        for row in report.get("windows", [])
+    ]
+
+
+def check(condition: bool, label: str, failures: list) -> None:
+    print(f"[bench_service] {'PASS' if condition else 'FAIL'}: {label}", flush=True)
+    if not condition:
+        failures.append(label)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--windows", type=int, default=None)
+    parser.add_argument("--window-size", type=int, default=None)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"CI smoke: {QUICK_WINDOWS} windows x {QUICK_WINDOW_SIZE:,} users; "
+        "the >=3x warm-speedup gate is recorded but not enforced (the short "
+        "stream never reaches steady state)",
+    )
+    parser.add_argument("--mem-limit-gb", type=float, default=4.0)
+    parser.add_argument("--timeout-s", type=float, default=1800.0)
+    parser.add_argument("--out", default="BENCH_service.json")
+    parser.add_argument(
+        "--single",
+        nargs=4,
+        metavar=("MODE", "N_WINDOWS", "WINDOW_SIZE", "CHECKPOINT"),
+        default=None,
+    )
+    args = parser.parse_args(argv)
+
+    if args.single is not None:
+        mode, n_windows, window_size, checkpoint = args.single
+        try:
+            report = run_single(
+                mode, int(n_windows), int(window_size), checkpoint, args.mem_limit_gb
+            )
+        except MemoryError:
+            print("MemoryError: exceeded the address-space cap", file=sys.stderr)
+            return 3
+        print(json.dumps(report))
+        return 0
+
+    if args.quick:
+        n_windows = args.windows or QUICK_WINDOWS
+        window_size = args.window_size or QUICK_WINDOW_SIZE
+        timeout_s = min(args.timeout_s, 600.0)
+    else:
+        n_windows = args.windows or DEFAULT_WINDOWS
+        window_size = args.window_size or DEFAULT_WINDOW_SIZE
+        timeout_s = args.timeout_s
+
+    results = []
+    reports = {}
+    for mode in ("warm", "cold"):
+        print(
+            f"[bench_service] {mode} stream: {n_windows} windows x "
+            f"{window_size:,} users ...",
+            flush=True,
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            report = run_child(
+                mode,
+                n_windows,
+                window_size,
+                os.path.join(tmp, "bench.checkpoint.json"),
+                args.mem_limit_gb,
+                timeout_s,
+            )
+        status = (
+            f"{report['wall_time_s']:.1f}s, {report['users_per_s']:,.0f} users/s"
+            if report.get("ok")
+            else f"FAILED ({report.get('error')})"
+        )
+        print(f"[bench_service]   -> {status}", flush=True)
+        reports[mode] = report
+        results.append(report)
+
+    print("[bench_service] kill/resume stream ...", flush=True)
+    kill_report = run_kill_resume(n_windows, window_size, args.mem_limit_gb, timeout_s)
+    status = (
+        f"killed at window {kill_report['killed_at_window']}, resumed from "
+        f"{kill_report['resumed_from']}"
+        if kill_report.get("ok")
+        else f"FAILED ({kill_report.get('error')})"
+    )
+    print(f"[bench_service]   -> {status}", flush=True)
+    results.append(kill_report)
+
+    failures = []
+    warm, cold = reports["warm"], reports["cold"]
+    summary = {}
+    check(bool(warm.get("ok")), "warm stream completed", failures)
+    check(bool(cold.get("ok")), "cold stream completed", failures)
+    check(bool(kill_report.get("ok")), "kill/resume stream completed", failures)
+
+    if warm.get("ok"):
+        rows = warm["windows"]
+        quarter = max(1, len(rows) // 4)
+        early = max(row["peak_rss_mb"] for row in rows[:quarter])
+        late = max(row["peak_rss_mb"] for row in rows[-quarter:])
+        summary["cumulative_users"] = rows[-1]["n_users_cum"]
+        summary["cumulative_reports"] = rows[-1]["n_reports_cum"]
+        summary["peak_rss_mb_early"] = round(early, 1)
+        summary["peak_rss_mb_late"] = round(late, 1)
+        summary["users_per_s"] = warm["users_per_s"]
+        summary["reports_per_s"] = warm["reports_per_s"]
+        if not args.quick:
+            check(
+                rows[-1]["n_users_cum"] >= 1_000_000,
+                f"cumulative population past 10^6 users "
+                f"({rows[-1]['n_users_cum']:,})",
+                failures,
+            )
+        check(
+            late <= early * 1.5 + 200.0,
+            f"peak RSS bounded as the stream grows "
+            f"(first-quarter max {early:.0f} MiB, last-quarter max {late:.0f} MiB)",
+            failures,
+        )
+
+    if warm.get("ok") and cold.get("ok"):
+        warm_sides = [row["poisoned_side"] for row in warm["windows"]]
+        cold_sides = [row["poisoned_side"] for row in cold["windows"]]
+        check(
+            warm_sides == cold_sides,
+            "warm probing selects the same side as cold in every window",
+            failures,
+        )
+        steady = max(1, len(warm["windows"]) // 3)
+        warm_probe = statistics.median(
+            row["probe_seconds"] for row in warm["windows"][-steady:]
+        )
+        cold_probe = statistics.median(
+            row["probe_seconds"] for row in cold["windows"][-steady:]
+        )
+        speedup = cold_probe / warm_probe if warm_probe > 0 else float("inf")
+        summary["steady_state_window_latency_s"] = round(
+            statistics.median(
+                row["window_seconds"] for row in warm["windows"][-steady:]
+            ),
+            4,
+        )
+        summary["steady_state_probe_s_warm"] = round(warm_probe, 4)
+        summary["steady_state_probe_s_cold"] = round(cold_probe, 4)
+        summary["warm_probe_speedup"] = round(speedup, 2)
+        label = (
+            f"steady-state warm probe >= 3x faster than cold "
+            f"({speedup:.1f}x: {cold_probe:.3f}s -> {warm_probe:.3f}s)"
+        )
+        if args.quick:
+            print(
+                f"[bench_service] INFO: {label} (not enforced with --quick)",
+                flush=True,
+            )
+        else:
+            check(speedup >= 3.0, label, failures)
+
+    if warm.get("ok") and kill_report.get("ok"):
+        check(
+            kill_report["resumed_from"] >= kill_report["killed_at_window"],
+            "resume continued from the checkpoint instead of recomputing",
+            failures,
+        )
+        check(
+            deterministic_rows(kill_report) == deterministic_rows(warm),
+            "kill/resume window results bit-identical to the uninterrupted run",
+            failures,
+        )
+
+    payload = {
+        "benchmark": "continuous-service runtime: sustained windowed aggregation",
+        "config": {
+            "epsilon": EPSILON,
+            "gamma": GAMMA,
+            "estimator": "cemf_star",
+            "attack": "bba [C/2,C]",
+            "n_windows": n_windows,
+            "window_size": window_size,
+            "seed": SEED,
+            "mem_limit_gb": args.mem_limit_gb,
+            "quick": args.quick,
+            "cpu_count": os.cpu_count(),
+        },
+        "notes": (
+            "'warm'/'cold' rows run the full stream in a fresh subprocess "
+            "(checkpointing every window included in the throughput numbers); "
+            "'kill-resume' SIGKILLs a live child mid-stream and resumes it in "
+            "a new process. The checks gate the service's claims: bounded "
+            "peak RSS, warm probing >= 3x faster at steady state with "
+            "identical side selections, and bit-identical kill/resume."
+        ),
+        "summary": summary,
+        "checks_failed": failures,
+        "results": results,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"[bench_service] wrote {args.out}")
+    if failures:
+        print(
+            f"[bench_service] {len(failures)} check(s) FAILED: {failures}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -105,15 +105,32 @@ class NumbaBackend(FastBackend):  # pragma: no cover - requires numba
         return counts, float(total)
 
 
+#: process-wide latch: the fallback warning fires once, not on every backend
+#: construction (a windowed service resolving its backend per window — or a
+#: shard pool resolving it per worker task — must not spam hundreds of
+#: identical warnings; Python's own warning registry dedupes per call site,
+#: which this module defeats by being called from many places)
+_fallback_warned = False
+
+
+def _reset_fallback_warning() -> None:
+    """Re-arm the once-per-process fallback warning (test hook)."""
+    global _fallback_warned
+    _fallback_warned = False
+
+
 def create_numba_backend() -> ArrayBackend:
     """The numba backend, or the numpy reference (with a warning) without numba."""
+    global _fallback_warned
     if not NUMBA_AVAILABLE:
-        warnings.warn(
-            "numba is not installed; the 'numba' backend falls back to the "
-            "bit-stable numpy reference",
-            RuntimeWarning,
-            stacklevel=3,
-        )
+        if not _fallback_warned:
+            _fallback_warned = True
+            warnings.warn(
+                "numba is not installed; the 'numba' backend falls back to the "
+                "bit-stable numpy reference",
+                RuntimeWarning,
+                stacklevel=3,
+            )
         return ArrayBackend()
     return NumbaBackend()  # pragma: no cover - requires numba
 

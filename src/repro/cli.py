@@ -1,11 +1,15 @@
 """``python -m repro`` — run declarative scenarios from the command line.
 
-Three subcommands:
+Four subcommands:
 
 * ``run <scenario.json>`` — execute a scenario file through the parallel
   executor, persist a resumable run artifact and print the result tables;
 * ``resume <scenario.json>`` — continue an interrupted run from its artifact
   (the artifact must exist; completed units are reused);
+* ``serve <service.json>`` — run a windowed continuous-aggregation service
+  (:mod:`repro.service`): ingest report windows, keep a running DAP
+  estimate with warm-started incremental probing, checkpoint after each
+  window, and resume bit-identically after a kill;
 * ``list-components`` — print every registered mechanism, attack, defense,
   scheme and dataset name the scenario schema accepts.
 
@@ -17,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import os
 import sys
 import time
@@ -59,6 +64,15 @@ def _positive_int(flag: str):
 
 _chunk_size = _positive_int("--chunk-size")
 _collect_workers = _positive_int("--collect-workers")
+
+
+def _window_size(value: str) -> int:
+    parsed = _positive_int("--window-size")(value)
+    if parsed < 2:
+        raise argparse.ArgumentTypeError(
+            f"--window-size must be at least 2, got {value!r}"
+        )
+    return parsed
 
 
 def _default_store(scenario: ScenarioSpec) -> str:
@@ -113,19 +127,23 @@ def _execute(args: argparse.Namespace, resume: bool, require_artifact: bool) -> 
             file=sys.stderr,
         )
         return 1
+    profile = args.profile or args.profile_out is not None
     records = run_scenario(
         scenario,
         n_workers=args.workers,
         store_path=store,
         resume=resume,
         progress=None if args.quiet else _ProgressPrinter(scenario.name),
-        profile=args.profile,
+        profile=profile,
     )
     if not records:
         print(f"error: scenario {scenario.name!r} produced no records", file=sys.stderr)
         return 2
-    if args.profile:
-        _print_profile(store)
+    if profile:
+        stage_totals = _load_profile(store)
+        _print_profile(stage_totals)
+        if args.profile_out is not None:
+            _write_profile(args.profile_out, stage_totals)
     print(
         f"{scenario.name}: {len(records)} records "
         f"({len(set(str(r.point) for r in records))} grid points x "
@@ -137,14 +155,29 @@ def _execute(args: argparse.Namespace, resume: bool, require_artifact: bool) -> 
     return 0
 
 
-def _print_profile(store: str) -> None:
-    """Print the per-stage wall times recorded in the run artifact."""
+def _load_profile(store: str) -> dict:
+    """The per-stage wall times recorded in the run artifact."""
     from repro.engine import load_run
+
+    return (load_run(store).meta.get("execution") or {}).get("profile") or {}
+
+
+def _print_profile(stage_totals: dict) -> None:
     from repro.utils.profiling import format_profile
 
-    profile = (load_run(store).meta.get("execution") or {}).get("profile") or {}
-    rendered = format_profile(profile) if profile else "(no freshly computed units)"
+    rendered = (
+        format_profile(stage_totals) if stage_totals else "(no freshly computed units)"
+    )
     print(f"profile: {rendered}", file=sys.stderr)
+
+
+def _write_profile(path: str, stage_totals: dict) -> None:
+    """Write the per-stage profile dict as a JSON document."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(stage_totals, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -153,6 +186,73 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_resume(args: argparse.Namespace) -> int:
     return _execute(args, resume=True, require_artifact=True)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceSpec, WindowedAggregationService, format_window
+
+    spec = ServiceSpec.from_file(args.service)
+    overrides = {}
+    # identity overrides (change the stream, hence the checkpoint digest) ...
+    if args.windows is not None:
+        overrides["n_windows"] = args.windows
+    if args.window_size is not None:
+        overrides["window_size"] = args.window_size
+    if args.probe_strategy is not None:
+        overrides["probe_strategy"] = args.probe_strategy
+    # ... and execution details (same stream, different machinery)
+    if args.backend is not None:
+        overrides["backend"] = args.backend
+    if args.collect_shards is not None:
+        overrides["collect_shards"] = args.collect_shards
+    if args.collect_workers is not None:
+        overrides["collect_workers"] = args.collect_workers
+    if args.checkpoint_every is not None:
+        overrides["checkpoint_every"] = args.checkpoint_every
+    if overrides:
+        spec = dataclasses.replace(spec, **overrides)
+    checkpoint_dir = args.checkpoint_dir or os.path.join("runs", "service")
+    checkpoint_path = spec.default_checkpoint_path(checkpoint_dir)
+    service = WindowedAggregationService(spec, checkpoint_path=checkpoint_path)
+
+    def progress(row) -> None:
+        print(format_window(row, spec.n_windows), file=sys.stderr, flush=True)
+
+    result = service.run(
+        resume=not args.fresh, progress=None if args.quiet else progress
+    )
+    final = result.windows[-1]
+    flagged = result.flagged_window
+    print(
+        f"{spec.name}: {len(result.windows)} windows x {spec.window_size} users, "
+        f"estimate={final.estimate:+.6f} gamma_hat={final.gamma_hat:.4f} "
+        f"(resumed from window {result.resumed_from}), "
+        f"checkpoint: {checkpoint_path}"
+    )
+    print(
+        "attack flagged at window "
+        + (str(flagged) if flagged is not None else "- (never)")
+    )
+    if args.profile or args.profile_out is not None:
+        _print_profile(result.profile)
+        if args.profile_out is not None:
+            _write_profile(args.profile_out, result.profile)
+    if args.results_out is not None:
+        payload = {
+            "spec": spec.document(),
+            "digest": spec.digest(),
+            "execution": spec.execution_details(),
+            "resumed_from": result.resumed_from,
+            "estimate": final.estimate,
+            "flagged_window": flagged,
+            "windows": [row.to_dict() for row in result.windows],
+        }
+        directory = os.path.dirname(os.path.abspath(args.results_out))
+        os.makedirs(directory, exist_ok=True)
+        with open(args.results_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    return 0
 
 
 def _cmd_list_components(args: argparse.Namespace) -> int:
@@ -243,6 +343,13 @@ def build_parser() -> argparse.ArgumentParser:
         "defense) into the artifact's meta.execution.profile and print them",
     )
     run_parser.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="PATH",
+        help="also write the per-stage profile dict as JSON to PATH "
+        "(implies --profile)",
+    )
+    run_parser.add_argument(
         "--quiet", action="store_true", help="print only the summary line"
     )
     run_parser.set_defaults(func=_cmd_run)
@@ -262,8 +369,82 @@ def build_parser() -> argparse.ArgumentParser:
     resume_parser.add_argument("--backend", choices=BACKENDS, default=None)
     resume_parser.add_argument("--store", default=None)
     resume_parser.add_argument("--profile", action="store_true")
+    resume_parser.add_argument("--profile-out", default=None, metavar="PATH")
     resume_parser.add_argument("--quiet", action="store_true")
     resume_parser.set_defaults(func=_cmd_resume)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run a windowed continuous-aggregation service from a service "
+        "JSON file (checkpointed; re-running resumes bit-identically)",
+    )
+    serve_parser.add_argument("service", help="path to a service JSON file")
+    serve_parser.add_argument(
+        "--windows",
+        type=_positive_int("--windows"),
+        default=None,
+        help="override the service's 'n_windows' horizon (identity: a "
+        "different horizon is a different stream with its own checkpoint)",
+    )
+    serve_parser.add_argument(
+        "--window-size",
+        type=_window_size,
+        default=None,
+        help="override the service's 'window_size' (identity, like --windows)",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for the service checkpoint file "
+        "(default: runs/service/<name>.checkpoint.json)",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-every",
+        type=_positive_int("--checkpoint-every"),
+        default=None,
+        help="checkpoint after every N completed windows (default: the "
+        "service's setting, else 1)",
+    )
+    serve_parser.add_argument(
+        "--fresh",
+        action="store_true",
+        help="ignore any existing checkpoint and recompute from window 0",
+    )
+    serve_parser.add_argument(
+        "--probe-strategy",
+        choices=PROBE_STRATEGIES,
+        default=None,
+        help="probe hypothesis-evaluation strategy (identity for services: "
+        "it is pinned by the checkpoint digest)",
+    )
+    serve_parser.add_argument("--backend", choices=BACKENDS, default=None)
+    serve_parser.add_argument(
+        "--collect-shards",
+        type=_positive_int("--collect-shards"),
+        default=None,
+        help="shards per window's collection round (bit-identical for any "
+        "value)",
+    )
+    serve_parser.add_argument(
+        "--collect-workers", type=_collect_workers, default=None
+    )
+    serve_parser.add_argument("--profile", action="store_true")
+    serve_parser.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="PATH",
+        help="write the per-stage profile dict (this run's freshly computed "
+        "windows) as JSON to PATH (implies --profile)",
+    )
+    serve_parser.add_argument(
+        "--results-out",
+        default=None,
+        metavar="PATH",
+        help="write the full window-by-window results as JSON to PATH",
+    )
+    serve_parser.add_argument("--quiet", action="store_true")
+    serve_parser.set_defaults(func=_cmd_serve)
 
     list_parser = sub.add_parser(
         "list-components", help="list every registered component name"

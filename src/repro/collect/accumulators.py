@@ -18,10 +18,84 @@ import numpy as np
 
 from repro.backends import get_backend
 from repro.utils.discretization import BucketGrid
-from repro.utils.validation import check_integer
+from repro.utils.validation import check_integer, check_positive
 
 #: compress the partial list once it grows past this many entries
 _MAX_PARTIALS = 256
+
+
+# ----------------------------------------------------------------------
+# snapshot validation
+# ----------------------------------------------------------------------
+def _snapshot_field(state: Any, key: str, what: str) -> Any:
+    """Fetch a required snapshot key, mapping structural damage to ValueError.
+
+    ``from_state`` consumes checkpoints that crossed a disk or process
+    boundary, so every structural assumption is checked up front: a corrupt
+    or mismatched snapshot must fail here, loudly, rather than construct an
+    accumulator that silently mis-merges later.
+    """
+    if not isinstance(state, Mapping):
+        raise ValueError(
+            f"{what} snapshot must be a mapping, got {type(state).__name__}"
+        )
+    if key not in state:
+        raise ValueError(f"{what} snapshot is missing key {key!r}")
+    return state[key]
+
+
+def _snapshot_float(state: Any, key: str, what: str) -> float:
+    """A required finite-float snapshot field."""
+    raw = _snapshot_field(state, key, what)
+    try:
+        value = float(raw)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{what} snapshot key {key!r} must be a number, got {raw!r}"
+        ) from None
+    if not math.isfinite(value):
+        raise ValueError(f"{what} snapshot key {key!r} must be finite, got {value}")
+    return value
+
+
+def _snapshot_int(state: Any, key: str, what: str, minimum: int = 0) -> int:
+    """A required integer snapshot field (booleans and floats rejected)."""
+    raw = _snapshot_field(state, key, what)
+    try:
+        return check_integer(raw, f"{what} snapshot key {key!r}", minimum=minimum)
+    except ValueError:
+        raise ValueError(
+            f"{what} snapshot key {key!r} must be an integer >= {minimum}, "
+            f"got {raw!r}"
+        ) from None
+
+
+def _snapshot_counts(raw: Any, n_buckets: int, what: str) -> np.ndarray:
+    """Validate a snapshot count vector: shape, integral values, sign.
+
+    Accepts integer arrays (or lists) verbatim and float arrays whose values
+    are exact integers (JSON round-trips may widen); everything else —
+    fractional counts, NaNs, strings, wrong shapes — is a corrupt snapshot.
+    """
+    try:
+        counts = np.asarray(raw)
+    except (TypeError, ValueError):
+        raise ValueError(f"{what} snapshot counts are not array-like") from None
+    if counts.dtype.kind not in "iuf":
+        raise ValueError(
+            f"{what} snapshot counts must be numeric, got dtype {counts.dtype}"
+        )
+    if counts.shape != (n_buckets,):
+        raise ValueError(
+            f"{what} snapshot needs {n_buckets} counts, got shape {counts.shape}"
+        )
+    if counts.dtype.kind == "f":
+        if not np.all(np.isfinite(counts)) or np.any(counts != np.floor(counts)):
+            raise ValueError(f"{what} snapshot counts must be finite integers")
+    counts = counts.astype(np.int64)
+    if np.any(counts < 0):
+        raise ValueError(f"{what} snapshot counts must be non-negative")
+    return counts
 
 #: internal slice length for reducing one chunk (bounds the transient
 #: Python-float list to a few MiB even when a caller adds a huge array)
@@ -110,11 +184,26 @@ class ExactSum:
 
     @classmethod
     def from_state(cls, state: Mapping[str, Any]) -> "ExactSum":
-        """Rebuild an accumulator from :meth:`state_dict` output."""
-        out = cls()
-        partials = [float(p) for p in state["partials"]]
+        """Rebuild an accumulator from :meth:`state_dict` output.
+
+        Raises ``ValueError`` on any structurally corrupt snapshot (missing
+        key, non-sequence, non-numeric or non-finite partials).
+        """
+        raw = _snapshot_field(state, "partials", "ExactSum")
+        if isinstance(raw, (str, bytes, Mapping)) or not hasattr(raw, "__iter__"):
+            raise ValueError(
+                f"ExactSum snapshot partials must be a sequence of floats, "
+                f"got {type(raw).__name__}"
+            )
+        try:
+            partials = [float(p) for p in raw]
+        except (TypeError, ValueError):
+            raise ValueError(
+                "ExactSum snapshot partials must be numbers"
+            ) from None
         if not all(math.isfinite(p) for p in partials):
-            raise ValueError("ExactSum requires finite values")
+            raise ValueError("ExactSum snapshot partials must be finite")
+        out = cls()
         out._partials = [p for p in partials if p != 0.0]
         return out
 
@@ -228,23 +317,37 @@ class HistogramAccumulator:
 
     @classmethod
     def from_state(cls, state: Mapping[str, Any]) -> "HistogramAccumulator":
-        """Rebuild an accumulator from :meth:`state_dict` output."""
-        grid = BucketGrid(
-            float(state["grid"]["low"]),
-            float(state["grid"]["high"]),
-            int(state["grid"]["n_buckets"]),
+        """Rebuild an accumulator from :meth:`state_dict` output.
+
+        Validates the full snapshot — grid geometry (finite edges, positive
+        width), count shape/dtype/sign, and the ``sum(counts) == n_values``
+        invariant every live accumulator maintains — and raises
+        ``ValueError`` on any mismatch, so a corrupt checkpoint cannot
+        produce an accumulator that mis-merges later.
+        """
+        grid_state = _snapshot_field(state, "grid", "histogram")
+        low = _snapshot_float(grid_state, "low", "histogram grid")
+        high = _snapshot_float(grid_state, "high", "histogram grid")
+        n_buckets = _snapshot_int(grid_state, "n_buckets", "histogram grid", minimum=1)
+        try:
+            grid = BucketGrid(low, high, n_buckets)
+        except ValueError as error:
+            raise ValueError(f"histogram snapshot grid is invalid: {error}") from None
+        counts = _snapshot_counts(
+            _snapshot_field(state, "counts", "histogram"), grid.n_buckets, "histogram"
         )
-        out = cls(grid, track_sum=state["sum"] is not None)
-        counts = np.asarray(state["counts"], dtype=np.int64)
-        if counts.shape != (grid.n_buckets,) or np.any(counts < 0):
+        n_values = _snapshot_int(state, "n_values", "histogram")
+        if int(counts.sum()) != n_values:
             raise ValueError(
-                f"histogram snapshot needs {grid.n_buckets} non-negative "
-                f"counts, got shape {counts.shape}"
+                f"histogram snapshot counts sum to {int(counts.sum())} but "
+                f"claim n_values={n_values}; the snapshot is corrupt"
             )
+        raw_sum = _snapshot_field(state, "sum", "histogram")
+        out = cls(grid, track_sum=raw_sum is not None)
         out.counts = counts
-        out.n_values = check_integer(state["n_values"], "n_values", minimum=0)
-        if state["sum"] is not None:
-            out._sum = ExactSum.from_state(state["sum"])
+        out.n_values = n_values
+        if raw_sum is not None:
+            out._sum = ExactSum.from_state(raw_sum)
         return out
 
 
@@ -284,15 +387,17 @@ class CategoryCountAccumulator:
 
     @classmethod
     def from_state(cls, state: Mapping[str, Any]) -> "CategoryCountAccumulator":
-        """Rebuild an accumulator from :meth:`state_dict` output."""
-        out = cls(int(state["n_categories"]))
-        counts = np.asarray(state["counts"], dtype=np.int64)
-        if counts.shape != (out.n_categories,) or np.any(counts < 0):
-            raise ValueError(
-                f"category snapshot needs {out.n_categories} non-negative "
-                f"counts, got shape {counts.shape}"
-            )
-        out.counts = counts
+        """Rebuild an accumulator from :meth:`state_dict` output.
+
+        Raises ``ValueError`` on corrupt snapshots (missing keys, wrong
+        shape, fractional/negative/non-finite counts).
+        """
+        out = cls(_snapshot_int(state, "n_categories", "category", minimum=1))
+        out.counts = _snapshot_counts(
+            _snapshot_field(state, "counts", "category"),
+            out.n_categories,
+            "category",
+        )
         return out
 
 
@@ -382,16 +487,34 @@ class GroupAccumulator:
 
     @classmethod
     def from_state(cls, state: Mapping[str, Any]) -> "GroupAccumulator":
-        """Rebuild an accumulator from :meth:`state_dict` output."""
-        histogram = HistogramAccumulator.from_state(state["histogram"])
+        """Rebuild an accumulator from :meth:`state_dict` output.
+
+        On top of the histogram snapshot's own validation this checks the
+        group identity fields — a finite positive budget, a non-negative
+        user count, and an expected-report count the accumulated stream has
+        not already overshot — raising ``ValueError`` on any mismatch.
+        """
+        histogram = HistogramAccumulator.from_state(
+            _snapshot_field(state, "histogram", "group")
+        )
         if histogram._sum is None:
             raise ValueError("group snapshot must track the report sum")
-        expected = state["n_expected_reports"]
+        epsilon = check_positive(
+            _snapshot_float(state, "epsilon", "group"), "group snapshot epsilon"
+        )
+        expected = _snapshot_field(state, "n_expected_reports", "group")
+        if expected is not None:
+            expected = _snapshot_int(state, "n_expected_reports", "group")
+            if histogram.n_values > expected:
+                raise ValueError(
+                    f"group snapshot accumulated {histogram.n_values} reports "
+                    f"but was sized for {expected}; the snapshot is corrupt"
+                )
         out = cls(
-            float(state["epsilon"]),
+            epsilon,
             histogram.grid,
-            n_expected_reports=None if expected is None else int(expected),
-            n_users=int(state["n_users"]),
+            n_expected_reports=expected,
+            n_users=_snapshot_int(state, "n_users", "group"),
         )
         out._histogram = histogram
         return out

@@ -34,7 +34,7 @@ reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Literal, Sequence, Tuple
+from typing import Callable, Iterable, List, Literal, Mapping, Sequence, Tuple
 
 import numpy as np
 
@@ -51,7 +51,7 @@ from repro.core.aggregation import aggregate_means, aggregation_weights
 from repro.core.cemf_star import DEFAULT_SUPPRESSION_FACTOR, run_cemf_star
 from repro.core.emf import EMFResult, run_emf
 from repro.core.emf_star import run_emf_star
-from repro.core.features import estimate_byzantine_features
+from repro.core.features import ByzantineFeatures, estimate_byzantine_features
 from repro.core.mean_estimation import corrected_mean_from_stats
 from repro.core.probing import check_probe_strategy
 from repro.core.transform import cached_transform_matrix, default_bucket_counts
@@ -226,12 +226,17 @@ class DAPResult:
         Byzantine proportion probed in the smallest-budget group.
     group_estimates:
         Per-group details (budget, corrected mean, weight, ...).
+    features:
+        The probing stage's full :class:`~repro.core.features.ByzantineFeatures`
+        (both side EMF runs included), so incremental callers can warm-start
+        the next round's probe from ``features.probe.warm_weights()``.
     """
 
     estimate: float
     poisoned_side: str
     gamma_hat: float
     group_estimates: List[GroupEstimate] = field(default_factory=list)
+    features: ByzantineFeatures | None = None
 
     @property
     def weights(self) -> np.ndarray:
@@ -668,13 +673,23 @@ class DAPProtocol:
             raise ValueError("no group contributed any reports")
         return self.aggregate_stats(stats)
 
-    def aggregate_stats(self, stats: Sequence[GroupStats]) -> DAPResult:
+    def aggregate_stats(
+        self,
+        stats: Sequence[GroupStats],
+        probe_warm_start: Mapping[str, np.ndarray] | None = None,
+    ) -> DAPResult:
         """Stages 3-5 on per-group sufficient statistics.
 
         Bit-identical to feeding the same reports through the in-memory
         :meth:`aggregate`: EMF and its variants already operate on the
         output-grid histogram, and the corrected mean only needs the report
         sum and count, so no stage ever touches raw reports.
+
+        ``probe_warm_start`` optionally seeds the probing stage's side EMs
+        from a previous round's converged weights
+        (:meth:`~repro.core.probing.SideProbeResult.warm_weights` of the
+        returned ``result.features.probe``) — the incremental path the
+        windowed service runs every window.
         """
         stats = [s for s in stats if s.n_reports > 0]
         if not stats:
@@ -698,6 +713,7 @@ class DAPProtocol:
                 reference_mean=self.config.reference_mean,
                 epsilon=probe_stats.epsilon,
                 strategy=self.config.probe_strategy,
+                warm_start=probe_warm_start,
             )
         side = features.side
         gamma_global = features.gamma_hat
@@ -742,6 +758,7 @@ class DAPProtocol:
             poisoned_side=side,
             gamma_hat=gamma_global,
             group_estimates=estimates,
+            features=features,
         )
 
     def _check_stats_geometry(self, stats: GroupStats) -> None:

@@ -119,6 +119,7 @@ def run_emf(
     epsilon: float | None = None,
     tol: float | None = None,
     max_iter: int = DEFAULT_MAX_ITER,
+    initial: np.ndarray | None = None,
 ) -> EMFResult:
     """Run EMF (Algorithm 2).
 
@@ -135,6 +136,12 @@ def run_emf(
         ``tau = 0.01 e^epsilon``.
     tol, max_iter:
         EM convergence controls (``tol`` overrides the epsilon-derived value).
+    initial:
+        Optional warm-start weights (length ``d + n_poison``, i.e. a previous
+        run's ``concatenate([normal_histogram, poison_histogram])``); defaults
+        to the uniform cold start.  The log-likelihood is concave, so a warm
+        start converges to the same maximiser in fewer iterations — the
+        windowed service exploits this across consecutive windows.
     """
     if (reports is None) == (counts is None):
         raise ValueError("provide exactly one of `reports` or `counts`")
@@ -147,6 +154,7 @@ def run_emf(
     result = em_reconstruct(
         transform.matrix,
         counts,
+        initial=initial,
         max_iter=max_iter,
         tol=tol,
         indicator_tail=transform.poison_bucket_indices,
@@ -168,6 +176,7 @@ def run_emf_stacked(
     epsilon: float | None = None,
     tol: float | None = None,
     max_iter: int = DEFAULT_MAX_ITER,
+    initial: Sequence[np.ndarray | None] | None = None,
 ) -> List[EMFResult]:
     """Run EMF for several hypotheses sharing one normal block, jointly.
 
@@ -194,6 +203,10 @@ def run_emf_stacked(
         explain the same observations).
     epsilon, tol, max_iter:
         Convergence controls as in :func:`run_emf`.
+    initial:
+        Optional per-hypothesis warm-start weight vectors (each of length
+        ``n_normal + n_poison(h)``, as in :func:`run_emf`); individual
+        entries may be ``None`` to cold-start just that hypothesis.
     """
     if not transforms:
         raise ValueError("at least one transform is required")
@@ -225,11 +238,35 @@ def run_emf_stacked(
         tail_rows[h, indices.size:] = indices[0] if indices.size else 0
         tail_mask[h, : indices.size] = True
 
+    batch_initial = None
+    if initial is not None:
+        if len(initial) != len(transforms):
+            raise ValueError(
+                f"initial must provide one warm start per hypothesis "
+                f"({len(transforms)}), got {len(initial)}"
+            )
+        if any(weights is not None for weights in initial):
+            batch_initial = np.zeros((len(transforms), n_normal + n_tail))
+            for h, weights in enumerate(initial):
+                n_real = n_normal + tail_sizes[h]
+                if weights is None:
+                    # reproduce the batch kernel's cold start for this row
+                    batch_initial[h, :n_real] = 1.0 / n_real
+                    continue
+                weights = np.asarray(weights, dtype=float)
+                if weights.shape != (n_real,):
+                    raise ValueError(
+                        f"hypothesis {h} warm start must have length {n_real}, "
+                        f"got shape {weights.shape}"
+                    )
+                batch_initial[h, :n_real] = weights
+
     batch = em_reconstruct_batch(
         dense,
         counts,
         tail_rows,
         tail_mask=tail_mask,
+        initial=batch_initial,
         max_iter=max_iter,
         tol=tol,
     )

@@ -15,6 +15,7 @@ reports; the DAP protocol calls it per group.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
@@ -71,6 +72,7 @@ def estimate_byzantine_features(
     counts: np.ndarray | None = None,
     n_reports: int | None = None,
     strategy: str = "batched",
+    warm_start: Mapping[str, np.ndarray] | None = None,
 ) -> ByzantineFeatures:
     """Probe the Byzantine features from one batch of reports.
 
@@ -82,8 +84,9 @@ def estimate_byzantine_features(
     ``n_output_buckets``, which is then required) plus ``n_reports`` (used
     for the default bucket formulas; defaults to ``counts.sum()``).
 
-    ``strategy`` selects how the side hypotheses are evaluated (see
-    :func:`repro.core.probing.probe_poisoned_side`).
+    ``strategy`` selects how the side hypotheses are evaluated, and
+    ``warm_start`` optionally seeds both side EMs from a previous probe's
+    converged weights (see :func:`repro.core.probing.probe_poisoned_side`).
     """
     if (reports is None) == (counts is None):
         raise ValueError("provide exactly one of `reports` or `counts`")
@@ -112,6 +115,7 @@ def estimate_byzantine_features(
         tol=tol,
         counts=counts,
         strategy=strategy,
+        warm_start=warm_start,
     )
     emf = probe.selected
     return ByzantineFeatures(

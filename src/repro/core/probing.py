@@ -13,6 +13,7 @@ and skews it heavily.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Mapping
 
 import numpy as np
 
@@ -67,6 +68,18 @@ class SideProbeResult:
         """Transform matrix of the selected side."""
         return self.selected.transform
 
+    def warm_weights(self) -> Dict[str, np.ndarray]:
+        """Per-side converged weight vectors, keyed ``"left"``/``"right"``.
+
+        Exactly the ``warm_start`` mapping a later :func:`probe_poisoned_side`
+        call over the same grids accepts — the windowed service feeds window
+        ``w``'s probe with window ``w-1``'s converged weights.
+        """
+        return {
+            side: np.concatenate([emf.normal_histogram, emf.poison_histogram])
+            for side, emf in (("left", self.emf_left), ("right", self.emf_right))
+        }
+
 
 def probe_poisoned_side(
     mechanism,
@@ -79,6 +92,7 @@ def probe_poisoned_side(
     max_iter: int = DEFAULT_MAX_ITER,
     counts: np.ndarray | None = None,
     strategy: str = "batched",
+    warm_start: Mapping[str, np.ndarray] | None = None,
 ) -> SideProbeResult:
     """Run Algorithm 3 and return the side decision plus both EMF runs.
 
@@ -108,6 +122,14 @@ def probe_poisoned_side(
         selects the same side, but iterate-level floating point differs from
         two independent solves; ``"cold"`` runs the two sides separately,
         bit-identical to the seed implementation.
+    warm_start:
+        Optional per-side initial weight vectors (a previous
+        :meth:`SideProbeResult.warm_weights` mapping).  The likelihood is
+        concave, so warm and cold starts reach the same maximisers — a warm
+        start only cuts iterations, which is what makes steady-state
+        incremental probing cheap.  Missing sides cold-start; a vector of the
+        wrong length raises ``ValueError`` (a stale checkpoint built over
+        different grids must not silently skew the probe).
     """
     if (reports is None) == (counts is None):
         raise ValueError("provide exactly one of `reports` or `counts`")
@@ -134,6 +156,33 @@ def probe_poisoned_side(
             # both sides share the output grid; bucketize once
             counts = transforms[side].output_counts(np.asarray(reports, dtype=float))
 
+    initials: dict[str, np.ndarray | None] = {"left": None, "right": None}
+    if warm_start:
+        for side in ("left", "right"):
+            weights = warm_start.get(side)
+            if weights is None:
+                continue
+            weights = np.asarray(weights, dtype=float)
+            expected = (
+                transforms[side].n_normal_components
+                + transforms[side].n_poison_components
+            )
+            if weights.shape != (expected,):
+                raise ValueError(
+                    f"warm start for side {side!r} must have length {expected} "
+                    f"(current probe grids), got shape {weights.shape}; "
+                    f"discard warm state accumulated over different grids"
+                )
+            if not np.all(np.isfinite(weights)) or np.any(weights < 0):
+                raise ValueError(
+                    f"warm start for side {side!r} must be finite and "
+                    f"non-negative; the checkpoint is corrupt"
+                )
+            # EM's multiplicative update can never revive an exactly-zero
+            # component; floor the warm weights so new data can still move
+            # mass anywhere (the floor washes out within an iteration or two)
+            initials[side] = np.maximum(weights, 1e-12)
+
     if strategy == "batched":
         emf_left, emf_right = run_emf_stacked(
             [transforms["left"], transforms["right"]],
@@ -141,6 +190,7 @@ def probe_poisoned_side(
             epsilon=epsilon,
             tol=tol,
             max_iter=max_iter,
+            initial=[initials["left"], initials["right"]],
         )
         results = {"left": emf_left, "right": emf_right}
     else:
@@ -151,6 +201,7 @@ def probe_poisoned_side(
                 epsilon=epsilon,
                 tol=tol,
                 max_iter=max_iter,
+                initial=initials[side],
             )
             for side in ("left", "right")
         }

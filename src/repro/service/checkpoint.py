@@ -1,0 +1,82 @@
+"""Atomic JSON checkpoints for the windowed service.
+
+One checkpoint file per service, overwritten atomically after each completed
+window (write to a temp file in the same directory, then ``os.replace``), so
+a SIGKILL at any instant leaves either the previous or the new checkpoint —
+never a torn file.  The payload carries only sufficient statistics and probe
+state (accumulator snapshots, converged EM weights, detector state), so its
+size is bounded by the grid geometry, not by how many users the stream has
+absorbed.
+
+Python's ``json`` round-trips finite floats exactly (``repr`` emits the
+shortest representation that parses back to the same double), which is what
+makes resume *bit*-identical rather than merely close.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, Mapping
+
+#: bump when the checkpoint layout changes incompatibly
+CHECKPOINT_VERSION = 1
+
+
+def write_checkpoint(path: str, payload: Mapping[str, Any]) -> None:
+    """Atomically write a checkpoint payload to ``path``."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    descriptor, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def load_checkpoint(path: str, expected_digest: str | None = None) -> Dict[str, Any]:
+    """Load and structurally validate a checkpoint.
+
+    Raises ``ValueError`` when the file is not a checkpoint of the expected
+    version, or — when ``expected_digest`` is given — when it belongs to a
+    different service identity (changed window boundaries, seed, probe
+    knobs, ...).  A mismatched checkpoint must never be silently resumed:
+    the resulting stream would be neither the old one nor the new one.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"checkpoint {path!r} is not valid JSON: {error}") from None
+    if not isinstance(payload, dict):
+        raise ValueError(f"checkpoint {path!r} must hold a JSON object")
+    version = payload.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"checkpoint {path!r} has version {version!r}, expected "
+            f"{CHECKPOINT_VERSION}"
+        )
+    for key in ("digest", "next_window", "cumulative", "windows", "detector"):
+        if key not in payload:
+            raise ValueError(f"checkpoint {path!r} is missing key {key!r}")
+    if expected_digest is not None and payload["digest"] != expected_digest:
+        raise ValueError(
+            f"checkpoint {path!r} belongs to a different service configuration "
+            f"(digest {payload['digest']!r}, expected {expected_digest!r}); "
+            f"delete it or restore the original spec"
+        )
+    return payload
+
+
+__all__ = ["CHECKPOINT_VERSION", "load_checkpoint", "write_checkpoint"]

@@ -106,14 +106,25 @@ class TestSelection:
         assert resolve_backend("numpy") is resolve_backend("numpy")
 
     @pytest.mark.skipif(numba_available(), reason="numba is installed")
-    def test_numba_fallback_warns_and_degrades_to_numpy(self):
+    def test_numba_fallback_warns_once_and_degrades_to_numpy(self):
+        from repro.backends.numba_backend import _reset_fallback_warning
+
+        _reset_fallback_warning()
         with pytest.warns(RuntimeWarning, match="numba is not installed"):
             backend = resolve_backend("numba")
         # the fallback *is* the reference: bit-stable, honestly named
         assert backend.name == "numpy"
-        with pytest.warns(RuntimeWarning, match="numba is not installed"):
+        # the warning is latched per process: later resolutions (a service
+        # resolving its backend every window, a pool worker per task) stay
+        # silent instead of repeating the same message
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
             with use_backend("numba") as active:
                 assert active.name == "numpy"
+            assert resolve_backend("numba").name == "numpy"
+        _reset_fallback_warning()
+        with pytest.warns(RuntimeWarning, match="numba is not installed"):
+            resolve_backend("numba")
 
     @pytest.mark.skipif(not numba_available(), reason="numba not installed")
     def test_numba_backend_resolves_when_available(self):

@@ -485,3 +485,35 @@ class TestProfile:
         result = run_cli("run", str(scenario_file), "--quiet", "--store", str(store))
         assert result.returncode == 0, result.stderr
         assert "profile" not in load_run(store).meta["execution"]
+
+    def test_profile_out_writes_json_and_implies_profile(
+        self, scenario_file, tmp_path
+    ):
+        store = tmp_path / "artifact.json"
+        out = tmp_path / "nested" / "profile.json"
+        result = run_cli(
+            "run", str(scenario_file), "--quiet", "--store", str(store),
+            "--profile-out", str(out),
+        )
+        assert result.returncode == 0, result.stderr
+        assert "profile:" in result.stderr  # --profile-out implies --profile
+        written = json.loads(out.read_text())
+        assert written == load_run(store).meta["execution"]["profile"]
+        assert set(written) >= {"collect", "defense"}
+
+    def test_profile_out_on_resume(self, scenario_file, tmp_path):
+        store = tmp_path / "artifact.json"
+        out = tmp_path / "profile.json"
+        assert (
+            run_cli(
+                "run", str(scenario_file), "--quiet", "--store", str(store)
+            ).returncode
+            == 0
+        )
+        result = run_cli(
+            "resume", str(scenario_file), "--quiet", "--store", str(store),
+            "--profile-out", str(out),
+        )
+        assert result.returncode == 0, result.stderr
+        # everything was already computed: an empty-but-valid profile document
+        assert json.loads(out.read_text()) == {}

@@ -213,7 +213,7 @@ class TestSnapshots:
         acc = HistogramAccumulator(BucketGrid(0.0, 1.0, 4))
         state = acc.state_dict()
         state["counts"] = [1, 2]
-        with pytest.raises(ValueError, match="non-negative"):
+        with pytest.raises(ValueError, match="needs 4 counts"):
             HistogramAccumulator.from_state(state)
 
     def test_category_round_trip(self):

@@ -1,0 +1,395 @@
+"""Tests for the continuous-service runtime (``repro.service``).
+
+The load-bearing guarantees:
+
+* determinism — window ``w`` is a pure function of ``(spec, w)``, so fresh
+  re-runs, sharded runs and kill/resume runs all produce bit-identical
+  window results;
+* checkpoint safety — corrupt or foreign checkpoints raise ``ValueError``
+  instead of silently resuming the wrong stream;
+* warm-started probing — same side selections as cold probing, fewer EM
+  iterations once the stream reaches steady state;
+* change detection — a mid-stream attack onset is flagged within a couple
+  of windows, and an attack-free stream is never flagged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.backends import use_backend
+from repro.service import (
+    CHECKPOINT_VERSION,
+    CusumDetector,
+    ServiceSpec,
+    WindowedAggregationService,
+    load_checkpoint,
+    run_service,
+    write_checkpoint,
+)
+
+SMALL = dict(
+    name="svc_test",
+    epsilon=1.0,
+    epsilon_min=0.25,
+    window_size=500,
+    n_windows=5,
+    dataset="Uniform",
+    attack={"name": "bba", "poison_range": "[C/2,C]"},
+    gamma=0.2,
+    attack_start=0,
+    seed=11,
+    detector={"warmup": 2},
+)
+
+
+def small_spec(**overrides) -> ServiceSpec:
+    return ServiceSpec(**{**SMALL, **overrides})
+
+
+def deterministic(result):
+    return [row.deterministic_view() for row in result.windows]
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    return run_service(small_spec())
+
+
+class TestServiceSpec:
+    def test_digest_ignores_execution_details(self):
+        base = small_spec()
+        execution = small_spec(
+            backend="fast", collect_shards=4, collect_workers=2, checkpoint_every=3
+        )
+        assert execution.digest() == base.digest()
+
+    def test_digest_pins_identity_knobs(self):
+        base = small_spec()
+        for overrides in (
+            {"seed": 12},
+            {"window_size": 600},
+            {"n_windows": 6},
+            {"warm_probe": False},
+            {"probe_strategy": "cold"},
+            {"detector": {"warmup": 3}},
+            {"gamma": 0.25},
+            {"attack_start": 2},
+        ):
+            assert small_spec(**overrides).digest() != base.digest(), overrides
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown service keys"):
+            ServiceSpec.from_mapping({**SMALL, "n_wndows": 3})
+
+    def test_unknown_detector_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown detector keys"):
+            small_spec(detector={"warmup": 2, "thresold": 3.0})
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="window_size"):
+            small_spec(window_size=1)
+        with pytest.raises(ValueError, match="n_windows"):
+            small_spec(n_windows=0)
+        with pytest.raises(ValueError, match="gamma"):
+            small_spec(gamma=1.5)
+        with pytest.raises(ValueError, match="input_domain"):
+            small_spec(input_domain=(1.0, -1.0))
+
+    def test_from_file_round_trip(self, tmp_path):
+        path = tmp_path / "svc.json"
+        path.write_text(json.dumps(SMALL))
+        assert ServiceSpec.from_file(str(path)).digest() == small_spec().digest()
+
+
+class TestCusumDetector:
+    def test_warmup_never_flags(self):
+        detector = CusumDetector(warmup=3, threshold=2.0, min_sigma=0.01)
+        assert not any(detector.update(w, 100.0) for w in range(3))
+        assert detector.calibrated and not detector.flagged
+
+    def test_flags_on_sustained_shift_and_is_sticky(self):
+        detector = CusumDetector(warmup=3, threshold=4.0, drift=1.0, min_sigma=0.01)
+        for w in range(3):
+            detector.update(w, 0.0)
+        assert detector.update(3, 0.1)  # 10 sigma - drift > threshold
+        assert detector.flagged_window == 3
+        assert not detector.update(4, 0.1)  # sticky: no re-raise
+        assert detector.flagged_window == 3
+
+    def test_benign_noise_decays(self):
+        detector = CusumDetector(warmup=4, threshold=8.0, drift=1.0, min_sigma=0.05)
+        rng = np.random.default_rng(0)
+        values = rng.normal(0.0, 0.05, size=50)
+        assert not any(detector.update(w, v) for w, v in enumerate(values))
+
+    def test_state_round_trip_continues_bit_identically(self):
+        rng = np.random.default_rng(1)
+        values = list(rng.normal(0.0, 0.02, size=20)) + [0.5, 0.5]
+        one_shot = CusumDetector(warmup=4)
+        for w, v in enumerate(values):
+            one_shot.update(w, v)
+        chained = CusumDetector(warmup=4)
+        for w, v in enumerate(values):
+            # snapshot through real JSON before every update
+            chained = CusumDetector.from_state(
+                json.loads(json.dumps(chained.state_dict()))
+            )
+            chained.update(w, v)
+        assert chained.state_dict() == one_shot.state_dict()
+
+    def test_from_state_rejects_corrupt(self):
+        good = CusumDetector().state_dict()
+        with pytest.raises(ValueError, match="missing keys"):
+            CusumDetector.from_state({k: v for k, v in good.items() if k != "m2"})
+        with pytest.raises(ValueError, match="finite"):
+            CusumDetector.from_state({**good, "mean": float("nan")})
+        with pytest.raises(ValueError, match="mapping"):
+            CusumDetector.from_state([1, 2, 3])
+
+
+class TestCheckpointStore:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "c.json")
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "digest": "abc",
+            "next_window": 2,
+            "cumulative": [],
+            "windows": [],
+            "detector": {},
+        }
+        write_checkpoint(path, payload)
+        assert load_checkpoint(path) == payload
+        assert load_checkpoint(path, expected_digest="abc") == payload
+
+    def test_digest_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "c.json")
+        write_checkpoint(
+            path,
+            {
+                "version": CHECKPOINT_VERSION,
+                "digest": "abc",
+                "next_window": 0,
+                "cumulative": [],
+                "windows": [],
+                "detector": {},
+            },
+        )
+        with pytest.raises(ValueError, match="different service configuration"):
+            load_checkpoint(path, expected_digest="xyz")
+
+    def test_version_and_structure_rejected(self, tmp_path):
+        path = str(tmp_path / "c.json")
+        write_checkpoint(path, {"version": 999})
+        with pytest.raises(ValueError, match="version"):
+            load_checkpoint(path)
+        write_checkpoint(path, {"version": CHECKPOINT_VERSION})
+        with pytest.raises(ValueError, match="missing key"):
+            load_checkpoint(path)
+        (tmp_path / "c.json").write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_checkpoint(path)
+
+    def test_failed_write_leaves_no_temp_files(self, tmp_path):
+        path = str(tmp_path / "c.json")
+        with pytest.raises(TypeError):
+            write_checkpoint(path, {"bad": object()})
+        assert os.listdir(tmp_path) == []
+
+
+def run_partial(spec, checkpoint_path, n_windows):
+    """Run the first ``n_windows`` windows and checkpoint — a simulated kill."""
+    service = WindowedAggregationService(spec, checkpoint_path=checkpoint_path)
+    service._fresh_state()
+    with use_backend(spec.backend):
+        for window in range(n_windows):
+            service._windows.append(service._run_window(window))
+            service._next_window = window + 1
+    write_checkpoint(checkpoint_path, service._checkpoint_payload())
+
+
+class TestRuntimeDeterminism:
+    def test_fresh_rerun_bit_identical(self, small_run):
+        again = run_service(small_spec())
+        assert deterministic(again) == deterministic(small_run)
+
+    @pytest.mark.parametrize("kill_after", [1, 3])
+    def test_kill_resume_bit_identical(self, small_run, tmp_path, kill_after):
+        spec = small_spec()
+        checkpoint = spec.default_checkpoint_path(str(tmp_path))
+        run_partial(spec, checkpoint, kill_after)
+        resumed = run_service(spec, checkpoint_path=checkpoint)
+        assert resumed.resumed_from == kill_after
+        assert deterministic(resumed) == deterministic(small_run)
+
+    def test_resume_of_complete_run_recomputes_nothing(self, small_run, tmp_path):
+        spec = small_spec()
+        checkpoint = spec.default_checkpoint_path(str(tmp_path))
+        first = run_service(spec, checkpoint_path=checkpoint)
+        again = run_service(spec, checkpoint_path=checkpoint)
+        assert again.resumed_from == spec.n_windows
+        assert deterministic(again) == deterministic(first)
+        assert again.profile.get("probe", 0.0) == 0.0  # nothing recomputed
+
+    def test_sharded_collection_bit_identical(self, small_run):
+        sharded = run_service(small_spec(collect_shards=3))
+        assert deterministic(sharded) == deterministic(small_run)
+
+    def test_fresh_flag_ignores_checkpoint(self, small_run, tmp_path):
+        spec = small_spec()
+        checkpoint = spec.default_checkpoint_path(str(tmp_path))
+        run_partial(spec, checkpoint, 2)
+        fresh = run_service(spec, checkpoint_path=checkpoint, resume=False)
+        assert fresh.resumed_from == 0
+        assert deterministic(fresh) == deterministic(small_run)
+
+
+class TestCheckpointGuards:
+    def test_foreign_checkpoint_rejected(self, tmp_path):
+        spec = small_spec()
+        checkpoint = spec.default_checkpoint_path(str(tmp_path))
+        run_partial(spec, checkpoint, 1)
+        other = small_spec(seed=12)
+        with pytest.raises(ValueError, match="different service configuration"):
+            run_service(other, checkpoint_path=checkpoint)
+
+    def test_corrupt_cumulative_rejected(self, tmp_path):
+        spec = small_spec()
+        checkpoint = spec.default_checkpoint_path(str(tmp_path))
+        run_partial(spec, checkpoint, 1)
+        payload = load_checkpoint(checkpoint)
+        payload["cumulative"][0]["histogram"]["counts"][0] += 1
+        write_checkpoint(checkpoint, payload)
+        with pytest.raises(ValueError, match="corrupt"):
+            run_service(spec, checkpoint_path=checkpoint)
+
+    def test_execution_drift_warns_but_stays_bit_identical(
+        self, small_run, tmp_path
+    ):
+        spec = small_spec()
+        checkpoint = spec.default_checkpoint_path(str(tmp_path))
+        run_partial(spec, checkpoint, 2)
+        drifted = small_spec(collect_shards=2, checkpoint_every=2)
+        with pytest.warns(RuntimeWarning, match="different execution details"):
+            resumed = run_service(drifted, checkpoint_path=checkpoint)
+        assert deterministic(resumed) == deterministic(small_run)
+
+
+class TestWarmProbing:
+    def test_warm_and_cold_select_the_same_side(self):
+        warm = run_service(small_spec(n_windows=6))
+        cold = run_service(small_spec(n_windows=6, warm_probe=False))
+        assert [r.poisoned_side for r in warm.windows] == [
+            r.poisoned_side for r in cold.windows
+        ]
+        # steady state: warm needs fewer EM iterations than a cold solve
+        assert sum(r.probe_iterations for r in warm.windows[2:]) < sum(
+            r.probe_iterations for r in cold.windows[2:]
+        )
+
+    def test_first_window_is_always_cold(self, small_run):
+        assert small_run.windows[0].warm is False
+        assert all(row.warm for row in small_run.windows[1:])
+
+
+class TestChangeDetection:
+    def test_attack_onset_flagged_within_two_windows(self):
+        spec = small_spec(
+            window_size=2000,
+            n_windows=8,
+            gamma=0.25,
+            attack_start=5,
+            seed=7,
+            detector={"warmup": 3},
+        )
+        result = run_service(spec)
+        assert result.flagged_window is not None
+        assert 5 <= result.flagged_window <= 7
+
+    def test_attack_free_stream_never_flags(self):
+        spec = small_spec(
+            attack="none", gamma=0.0, n_windows=6, detector={"warmup": 2}
+        )
+        assert run_service(spec).flagged_window is None
+
+
+class TestServeCli:
+    @staticmethod
+    def run_cli(*args, cwd=None):
+        env = dict(os.environ)
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+        )
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+            env=env,
+            timeout=300,
+        )
+
+    def test_serve_run_resume_and_artifacts(self, tmp_path, small_run):
+        service_file = tmp_path / "svc.json"
+        service_file.write_text(json.dumps(SMALL))
+        results = tmp_path / "results.json"
+        profile = tmp_path / "profile.json"
+        first = self.run_cli(
+            "serve",
+            str(service_file),
+            "--checkpoint-dir",
+            str(tmp_path),
+            "--results-out",
+            str(results),
+            "--profile-out",
+            str(profile),
+        )
+        assert first.returncode == 0, first.stderr
+        assert "svc_test" in first.stdout
+        payload = json.loads(results.read_text())
+        assert payload["digest"] == small_spec().digest()
+        assert len(payload["windows"]) == SMALL["n_windows"]
+        # the CLI stream matches the in-process API bit for bit
+        for row, expected in zip(payload["windows"], small_run.windows):
+            assert row["estimate"] == expected.estimate
+            assert row["gamma_hat"] == expected.gamma_hat
+        assert json.loads(profile.read_text()).get("probe", 0.0) > 0.0
+
+        # a second invocation resumes the finished stream without recomputing
+        second = self.run_cli(
+            "serve", str(service_file), "--checkpoint-dir", str(tmp_path), "--quiet"
+        )
+        assert second.returncode == 0, second.stderr
+        assert f"resumed from window {SMALL['n_windows']}" in second.stdout
+
+    def test_serve_identity_override_errors_on_foreign_checkpoint(self, tmp_path):
+        service_file = tmp_path / "svc.json"
+        service_file.write_text(json.dumps({**SMALL, "n_windows": 2}))
+        assert (
+            self.run_cli(
+                "serve", str(service_file), "--checkpoint-dir", str(tmp_path), "--quiet"
+            ).returncode
+            == 0
+        )
+        clash = self.run_cli(
+            "serve",
+            str(service_file),
+            "--checkpoint-dir",
+            str(tmp_path),
+            "--windows",
+            "3",
+            "--quiet",
+        )
+        assert clash.returncode == 1
+        assert "different service configuration" in clash.stderr
