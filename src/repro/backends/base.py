@@ -21,8 +21,13 @@ Kernel families:
   chunks, so the ``(category, user)`` hash grid never materialises);
 * **EM linear algebra** — ``matvec`` / ``rmatvec`` / ``matmul``, the inner
   products of :mod:`repro.ldp.ems`;
-* **accumulation** — ``histogram_chunk`` / ``category_chunk``, the fused
-  assign+bincount of :mod:`repro.collect.accumulators`.
+* **accumulation** — ``histogram_chunk`` / ``category_chunk`` /
+  ``sketch_chunk``, the fused assign+bincount of
+  :mod:`repro.collect.accumulators`;
+* **count-sketch** — ``sketch_sample`` / ``sketch_decode`` /
+  ``sketch_occupancy``, the high-cardinality frequency kernels of
+  :mod:`repro.ldp.count_sketch` (reports are ``(row, bucket)`` pairs, so
+  nothing in this family ever materialises the categorical domain).
 """
 
 from __future__ import annotations
@@ -42,6 +47,17 @@ def raise_category_range(reports: np.ndarray, n_categories: int) -> None:
     raise ValueError(
         f"category reports must lie in [0, {n_categories}), got range "
         f"[{reports.min()}, {reports.max()}]"
+    )
+
+
+def raise_sketch_range(reports: np.ndarray, n_rows: int, width: int) -> None:
+    """Raise the sketch accumulator's cell-range error (shared message)."""
+    rows = reports[:, 0]
+    buckets = reports[:, 1]
+    raise ValueError(
+        f"sketch reports must be (row, bucket) pairs with row in [0, {n_rows}) "
+        f"and bucket in [0, {width}), got rows in [{rows.min()}, {rows.max()}] "
+        f"and buckets in [{buckets.min()}, {buckets.max()}]"
     )
 
 
@@ -246,8 +262,138 @@ class ArrayBackend:
             raise_category_range(reports, n_categories)
         return np.bincount(reports, minlength=n_categories)
 
+    def sketch_chunk(self, reports: np.ndarray, n_rows: int, width: int) -> np.ndarray:
+        """One chunk's ``(n_rows, width)`` sketch counts from (row, bucket) pairs."""
+        rows = reports[:, 0]
+        buckets = reports[:, 1]
+        if (
+            rows.min() < 0
+            or rows.max() >= n_rows
+            or buckets.min() < 0
+            or buckets.max() >= width
+        ):
+            raise_sketch_range(reports, n_rows, width)
+        flat = np.bincount(rows * width + buckets, minlength=n_rows * width)
+        return flat.reshape(n_rows, width)
+
+    # ------------------------------------------------------------------
+    # count-sketch
+    # ------------------------------------------------------------------
+    def sketch_sample(
+        self,
+        categories: np.ndarray,
+        n_rows: int,
+        width: int,
+        p: float,
+        hash_fn: Callable[[np.ndarray, np.ndarray, int], np.ndarray],
+        row_seeds: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Count-sketch sampling: uniform row, hash into ``width``, w-ary k-RR.
+
+        Each user picks one of the ``n_rows`` hash rows uniformly, hashes its
+        category into that row's ``width`` buckets, and reports the bucket
+        through k-RR over the bucket domain (keep with probability ``p``, else
+        uniform among the other ``width - 1`` buckets).  Reports are ``(row,
+        bucket)`` int64 pairs — O(1) per user regardless of the category
+        count.
+        """
+        n = categories.size
+        rows = rng.integers(0, n_rows, size=n)
+        hashed = hash_fn(categories, row_seeds[rows], width)
+        keep = rng.random(n) < p
+        random_other = rng.integers(0, width - 1, size=n)
+        random_other = np.where(random_other >= hashed, random_other + 1, random_other)
+        buckets = np.where(keep, hashed, random_other)
+        return np.column_stack([rows.astype(np.int64), buckets.astype(np.int64)])
+
+    def sketch_decode(
+        self,
+        counts: np.ndarray,
+        categories: np.ndarray,
+        p: float,
+        q: float,
+        hash_fn: Callable[[np.ndarray, np.ndarray, int], np.ndarray],
+        row_seeds: np.ndarray,
+        width: int,
+        reduce: str = "mean",
+    ) -> np.ndarray:
+        """Debiased frequency estimates for ``categories`` from sketch counts.
+
+        Per row ``j`` the bucket counts are first unbiased against the k-RR
+        noise (``(count/n_j - q) / (p - q)``), then each candidate gathers its
+        own bucket's debiased frequency and reduces across rows — the
+        ``"mean"`` (unbiased, the estimator), the ``"median"`` (robust: a
+        category elevated in only a minority of rows, e.g. by colliding with
+        a poisoned cell, is suppressed — the count-median ranking rule), or
+        the ``"min"`` (the strictest row statistic: only a category elevated
+        in *every* row keeps a high value, which is what targeted sketch
+        poison — and nothing else — produces, so the min is what poison
+        *flagging* keys on).  The reduction still includes the ``1/width``
+        expected mass of colliding categories, which the final
+        ``(width * raw - 1) / (width - 1)`` removes — unbiased under the
+        uniform-collision approximation (for the mean; median/min inherit
+        the same affine debias as rank statistics).  Candidate hashing is
+        tiled so the ``(candidate, row)`` grid stays bounded.
+        """
+        if reduce not in ("mean", "median", "min"):
+            raise ValueError(
+                f"reduce must be 'mean', 'median' or 'min', got {reduce!r}"
+            )
+        n_rows = counts.shape[0]
+        row_totals = counts.sum(axis=1).astype(float)
+        freq_buckets = (
+            counts / np.maximum(row_totals, 1.0)[:, np.newaxis] - q
+        ) / (p - q)
+        out = np.empty(categories.size, dtype=float)
+        row_index = np.arange(n_rows)[np.newaxis, :]
+        seed_row = row_seeds[np.newaxis, :]
+        tile = max(1, OLH_SUPPORT_TILE_ELEMENTS // max(1, n_rows))
+        for start in range(0, categories.size, tile):
+            cats = categories[start : start + tile, np.newaxis]
+            hashed = hash_fn(cats, seed_row, width)
+            gathered = freq_buckets[row_index, hashed]
+            if reduce == "median":
+                raw = np.median(gathered, axis=1)
+            elif reduce == "min":
+                raw = gathered.min(axis=1)
+            else:
+                raw = gathered.mean(axis=1)
+            out[start : start + tile] = (width * raw - 1.0) / (width - 1.0)
+        return out
+
+    def sketch_occupancy(
+        self,
+        n_categories: int,
+        hash_fn: Callable[[np.ndarray, np.ndarray, int], np.ndarray],
+        row_seeds: np.ndarray,
+        width: int,
+    ) -> np.ndarray:
+        """Per-row bucket occupancy of the full domain: how many of the
+        ``n_categories`` categories hash to each ``(row, bucket)`` cell.
+        Tiled over the domain so the ``(category, row)`` hash grid stays
+        bounded.
+        """
+        n_rows = row_seeds.size
+        occupancy = np.zeros(n_rows * width, dtype=np.int64)
+        row_offsets = (np.arange(n_rows) * width)[np.newaxis, :]
+        seed_row = row_seeds[np.newaxis, :]
+        tile = max(1, OLH_SUPPORT_TILE_ELEMENTS // max(1, n_rows))
+        for start in range(0, n_categories, tile):
+            cats = np.arange(start, min(start + tile, n_categories), dtype=np.int64)
+            hashed = hash_fn(cats[:, np.newaxis], seed_row, width)
+            occupancy += np.bincount(
+                (hashed + row_offsets).ravel(), minlength=n_rows * width
+            )
+        return occupancy.reshape(n_rows, width)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
 
 
-__all__ = ["ArrayBackend", "OLH_SUPPORT_TILE_ELEMENTS", "raise_category_range"]
+__all__ = [
+    "ArrayBackend",
+    "OLH_SUPPORT_TILE_ELEMENTS",
+    "raise_category_range",
+    "raise_sketch_range",
+]

@@ -34,7 +34,7 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
-from repro.backends.base import ArrayBackend, raise_category_range
+from repro.backends.base import ArrayBackend, raise_category_range, raise_sketch_range
 
 #: below this many (user x category) cells the dense OUE sampler wins — the
 #: per-column python loop of the sparse sampler only pays off at scale
@@ -192,6 +192,45 @@ class FastBackend(ArrayBackend):
         if counts.size > n_categories:
             raise_category_range(reports, n_categories)
         return counts
+
+    def sketch_chunk(self, reports: np.ndarray, n_rows: int, width: int) -> np.ndarray:
+        rows = reports[:, 0]
+        buckets = reports[:, 1]
+        # buckets need an explicit range check: an out-of-range bucket paired
+        # with a valid row can still land on a valid flat index.  Bad rows are
+        # caught for free — negative flat indices make bincount raise, rows
+        # >= n_rows overflow the minlength.
+        if buckets.size and (buckets.min() < 0 or buckets.max() >= width):
+            raise_sketch_range(reports, n_rows, width)
+        try:
+            flat = np.bincount(rows * width + buckets, minlength=n_rows * width)
+        except ValueError:
+            raise_sketch_range(reports, n_rows, width)
+        if flat.size > n_rows * width:
+            raise_sketch_range(reports, n_rows, width)
+        return flat.reshape(n_rows, width)
+
+    # ------------------------------------------------------------------
+    # count-sketch
+    # ------------------------------------------------------------------
+    def sketch_sample(
+        self,
+        categories: np.ndarray,
+        n_rows: int,
+        width: int,
+        p: float,
+        hash_fn: Callable[[np.ndarray, np.ndarray, int], np.ndarray],
+        row_seeds: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        n = categories.size
+        rows = rng.integers(0, n_rows, size=n)
+        hashed = hash_fn(categories, row_seeds[rows], width)
+        u = rng.random(n)
+        keep = u < p
+        other = self._uniform_other(u, hashed, width, p)
+        buckets = np.where(keep, hashed, other)
+        return np.column_stack([rows.astype(np.int64), buckets.astype(np.int64)])
 
 
 __all__ = ["FastBackend", "OUE_SPARSE_MIN_CELLS"]

@@ -64,6 +64,16 @@ def _positive_int(flag: str):
 
 _chunk_size = _positive_int("--chunk-size")
 _collect_workers = _positive_int("--collect-workers")
+_sketch_rows = _positive_int("--sketch-rows")
+
+
+def _sketch_width(value: str) -> int:
+    parsed = _positive_int("--sketch-width")(value)
+    if parsed < 2:
+        raise argparse.ArgumentTypeError(
+            f"--sketch-width must be at least 2, got {value!r}"
+        )
+    return parsed
 
 
 def _window_size(value: str) -> int:
@@ -114,10 +124,16 @@ def _execute(args: argparse.Namespace, resume: bool, require_artifact: bool) -> 
         overrides["probe_strategy"] = args.probe_strategy
     if args.backend is not None:
         overrides["backend"] = args.backend
+    # sketch geometry is identity: overriding it changes the document digest,
+    # so a run started at one geometry cannot silently resume into another
+    if args.sketch_rows is not None:
+        overrides["sketch_rows"] = args.sketch_rows
+    if args.sketch_width is not None:
+        overrides["sketch_width"] = args.sketch_width
     if overrides:
         # rebuild (rather than mutate) so the spec's own validation runs on
-        # the overrides; all these knobs are execution details, excluded from
-        # the document digest, so an existing artifact stays resumable
+        # the overrides; the execution-detail knobs are excluded from the
+        # document digest, so an existing artifact stays resumable
         scenario = dataclasses.replace(scenario, **overrides)
     store = args.store or _default_store(scenario)
     if require_artifact and not os.path.exists(store):
@@ -200,6 +216,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         overrides["window_size"] = args.window_size
     if args.probe_strategy is not None:
         overrides["probe_strategy"] = args.probe_strategy
+    if args.sketch_rows is not None:
+        overrides["sketch_rows"] = args.sketch_rows
+    if args.sketch_width is not None:
+        overrides["sketch_width"] = args.sketch_width
     # ... and execution details (same stream, different machinery)
     if args.backend is not None:
         overrides["backend"] = args.backend
@@ -327,6 +347,21 @@ def build_parser() -> argparse.ArgumentParser:
         "scenario's 'backend'; default: the scenario's setting, else numpy",
     )
     run_parser.add_argument(
+        "--sketch-rows",
+        type=_sketch_rows,
+        default=None,
+        help="count-sketch hash rows for sketch-backed categorical "
+        "components (identity: enters the scenario digest when set; "
+        "overrides the scenario's 'sketch_rows')",
+    )
+    run_parser.add_argument(
+        "--sketch-width",
+        type=_sketch_width,
+        default=None,
+        help="count-sketch buckets per row (identity, like --sketch-rows; "
+        "overrides the scenario's 'sketch_width')",
+    )
+    run_parser.add_argument(
         "--store",
         default=None,
         help="run-artifact path (default: runs/<scenario name>.json)",
@@ -367,6 +402,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--probe-strategy", choices=PROBE_STRATEGIES, default=None
     )
     resume_parser.add_argument("--backend", choices=BACKENDS, default=None)
+    resume_parser.add_argument("--sketch-rows", type=_sketch_rows, default=None)
+    resume_parser.add_argument("--sketch-width", type=_sketch_width, default=None)
     resume_parser.add_argument("--store", default=None)
     resume_parser.add_argument("--profile", action="store_true")
     resume_parser.add_argument("--profile-out", default=None, metavar="PATH")
@@ -417,6 +454,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="probe hypothesis-evaluation strategy (identity for services: "
         "it is pinned by the checkpoint digest)",
+    )
+    serve_parser.add_argument(
+        "--sketch-rows",
+        type=_sketch_rows,
+        default=None,
+        help="count-sketch hash rows for sketch-backed collection "
+        "(identity: pinned by the checkpoint digest when set)",
+    )
+    serve_parser.add_argument(
+        "--sketch-width",
+        type=_sketch_width,
+        default=None,
+        help="count-sketch buckets per row (identity, like --sketch-rows)",
     )
     serve_parser.add_argument("--backend", choices=BACKENDS, default=None)
     serve_parser.add_argument(

@@ -15,6 +15,9 @@ larger than RAM can be collected in bounded memory:
   :class:`~repro.utils.discretization.BucketGrid`;
 * :class:`~repro.collect.accumulators.CategoryCountAccumulator` — counts over
   a categorical domain;
+* :class:`~repro.collect.accumulators.SketchAccumulator` — the ``(rows,
+  width)`` counter matrix of the count-sketch high-cardinality frequency
+  path;
 * :class:`~repro.collect.accumulators.GroupAccumulator` /
   :class:`~repro.collect.accumulators.GroupStats` — everything one DAP group
   contributes to :meth:`repro.core.dap.DAPProtocol.aggregate_stats`.
@@ -34,6 +37,7 @@ from repro.collect.accumulators import (
     GroupAccumulator,
     GroupStats,
     HistogramAccumulator,
+    SketchAccumulator,
     SumCount,
 )
 from repro.collect.sharding import (
@@ -53,6 +57,7 @@ __all__ = [
     "GroupStats",
     "HistogramAccumulator",
     "ShardPlan",
+    "SketchAccumulator",
     "ShardSlice",
     "SumCount",
     "build_shard_plan",

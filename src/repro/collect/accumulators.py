@@ -401,6 +401,92 @@ class CategoryCountAccumulator:
         return out
 
 
+class SketchAccumulator:
+    """Streaming ``(rows, width)`` counter matrix for the count-sketch path.
+
+    Consumes ``(row, bucket)`` report pairs and folds them into the sketch's
+    counter matrix.  Counts are integers, so chunked accumulation and merges
+    are exactly equal to a one-shot fold over the concatenated stream — the
+    same invariance contract as :class:`CategoryCountAccumulator`, which is
+    what lets sharded collection, checkpointing and the windowed service
+    compose with the sketch for free.
+    """
+
+    def __init__(self, sketch_rows: int, sketch_width: int) -> None:
+        self.sketch_rows = check_integer(sketch_rows, "sketch_rows", minimum=1)
+        self.sketch_width = check_integer(sketch_width, "sketch_width", minimum=2)
+        self.counts = np.zeros((self.sketch_rows, self.sketch_width), dtype=np.int64)
+
+    def update(self, reports: np.ndarray) -> "SketchAccumulator":
+        reports = np.asarray(reports, dtype=np.int64)
+        if reports.size == 0:
+            return self
+        if reports.ndim != 2 or reports.shape[1] != 2:
+            raise ValueError(
+                f"sketch reports must have shape (n, 2), got {reports.shape}"
+            )
+        # the backend validates the (row, bucket) ranges (reference: explicit
+        # min/max checks; fast: bincount's own bounds plus a bucket check)
+        # and raises the same error message either way
+        self.counts += get_backend().sketch_chunk(
+            reports, self.sketch_rows, self.sketch_width
+        )
+        return self
+
+    def merge(self, other: "SketchAccumulator") -> "SketchAccumulator":
+        if (
+            other.sketch_rows != self.sketch_rows
+            or other.sketch_width != self.sketch_width
+        ):
+            raise ValueError(
+                f"cannot merge sketch accumulators of different geometry: "
+                f"({self.sketch_rows}, {self.sketch_width}) vs "
+                f"({other.sketch_rows}, {other.sketch_width})"
+            )
+        self.counts += other.counts
+        return self
+
+    @property
+    def n_reports(self) -> int:
+        return int(self.counts.sum())
+
+    def counts_float(self) -> np.ndarray:
+        return self.counts.astype(float)
+
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-friendly snapshot: geometry plus row-major flat counts."""
+        return {
+            "sketch_rows": self.sketch_rows,
+            "sketch_width": self.sketch_width,
+            "counts": self.counts.ravel().tolist(),
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "SketchAccumulator":
+        """Rebuild an accumulator from :meth:`state_dict` output.
+
+        Raises ``ValueError`` on corrupt snapshots (missing keys, wrong
+        geometry or count length, fractional/negative/non-finite counts).
+        """
+        out = cls(
+            _snapshot_int(state, "sketch_rows", "sketch", minimum=1),
+            _snapshot_int(state, "sketch_width", "sketch", minimum=2),
+        )
+        flat = _snapshot_counts(
+            _snapshot_field(state, "counts", "sketch"),
+            out.sketch_rows * out.sketch_width,
+            "sketch",
+        )
+        out.counts = flat.reshape(out.sketch_rows, out.sketch_width)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SketchAccumulator(rows={self.sketch_rows}, "
+            f"width={self.sketch_width}, n_reports={self.n_reports})"
+        )
+
+
 @dataclass(frozen=True)
 class GroupStats:
     """Sufficient statistics of one DAP group's report stream.
@@ -552,5 +638,6 @@ __all__ = [
     "GroupAccumulator",
     "GroupStats",
     "HistogramAccumulator",
+    "SketchAccumulator",
     "SumCount",
 ]

@@ -21,6 +21,8 @@ Layered bottom-up:
   Protocol (Section V).
 * :mod:`repro.core.frequency` — the categorical / frequency-estimation
   extension (Section V-D).
+* :mod:`repro.core.sketch_frequency` — the count-sketch high-cardinality
+  frequency route (heavy-hitter probing over 10^5–10^6-category domains).
 """
 
 from repro.core.transform import TransformMatrix, build_transform_matrix, default_bucket_counts
@@ -39,6 +41,7 @@ from repro.core.baseline_protocol import BaselineProtocol, BaselineResult
 from repro.core.aggregation import aggregation_weights, aggregate_means, worst_case_group_variance
 from repro.core.dap import DAPProtocol, DAPConfig, DAPResult, GroupCollection, GroupEstimate
 from repro.core.frequency import FrequencyDAP, FrequencyDAPResult
+from repro.core.sketch_frequency import SketchFrequencyDAP, SketchFrequencyDAPResult
 
 __all__ = [
     "TransformMatrix",
@@ -69,4 +72,6 @@ __all__ = [
     "GroupEstimate",
     "FrequencyDAP",
     "FrequencyDAPResult",
+    "SketchFrequencyDAP",
+    "SketchFrequencyDAPResult",
 ]

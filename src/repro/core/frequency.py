@@ -45,6 +45,13 @@ from repro.utils.validation import check_integer, check_positive
 
 EstimatorName = Literal["emf", "emf_star", "cemf_star"]
 
+#: Domains past this size make the dense route pathological: the probe's
+#: ``k x k`` transform alone is ``8 k^2`` bytes (0.5 GiB at 8192) and the
+#: greedy search is O(k^2) per round.  Larger domains belong on the sketch
+#: route (:class:`repro.core.sketch_frequency.SketchFrequencyDAP`), whose
+#: state is ``rows x width`` regardless of ``k``.
+DENSE_MAX_CATEGORIES = 8192
+
 
 def ostrich_frequencies(
     mechanism: KRandomizedResponse, reports: np.ndarray, clip: bool = True
@@ -125,6 +132,15 @@ class FrequencyDAP:
     ) -> None:
         self.epsilon = check_positive(epsilon, "epsilon")
         self.n_categories = check_integer(n_categories, "n_categories", minimum=2)
+        if self.n_categories > DENSE_MAX_CATEGORIES:
+            transform_gib = 8.0 * float(self.n_categories) ** 2 / 2**30
+            raise ValueError(
+                f"n_categories={self.n_categories} exceeds the dense-route "
+                f"limit ({DENSE_MAX_CATEGORIES}): the probe's k x k transform "
+                f"alone would need ~{transform_gib:.1f} GiB; use the sketch "
+                f"route (SketchFrequencyDAP / mechanism 'count-sketch') for "
+                f"high-cardinality domains"
+            )
         if estimator not in ("emf", "emf_star", "cemf_star"):
             raise ValueError(
                 f"estimator must be 'emf', 'emf_star' or 'cemf_star', got {estimator!r}"
@@ -136,6 +152,11 @@ class FrequencyDAP:
         self.min_likelihood_gain = check_positive(min_likelihood_gain, "min_likelihood_gain")
         self.probe_strategy = check_probe_strategy(probe_strategy)
         self.mechanism = KRandomizedResponse(epsilon, n_categories)
+        # transform caches: the k x k normal block never changes for a given
+        # instance, and repeated solves over one poison set (plain EMF, then
+        # the gamma-constrained re-solve) reuse the identical stacked matrix
+        self._normal_block: np.ndarray | None = None
+        self._transform_cache: tuple[tuple[int, ...], np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     # client-side simulation helpers
@@ -276,15 +297,34 @@ class FrequencyDAP:
     # ------------------------------------------------------------------
     # collector side
     # ------------------------------------------------------------------
+    def _transition_matrix(self) -> np.ndarray:
+        """The mechanism's ``k x k`` transition matrix, built once per instance."""
+        if self._normal_block is None:
+            self._normal_block = self.mechanism.transition_matrix()
+        return self._normal_block
+
     def _build_transform(self, poison_set: Sequence[int]) -> np.ndarray:
-        """Normal k-RR block plus identity poison columns for ``poison_set``."""
-        normal_block = self.mechanism.transition_matrix()
+        """Normal k-RR block plus identity poison columns for ``poison_set``.
+
+        Single-slot cache keyed on the frozen poison set: the estimator
+        re-solves the same poison set back to back (plain EMF for
+        ``gamma_hat``, then the constrained re-solve), and rebuilding the
+        stacked ``k x (k + m)`` matrix each time dominated small-domain runs.
+        The cached matrix is returned as-is — solves never mutate it — so
+        repeated calls are bit-identical to fresh builds.
+        """
+        normal_block = self._transition_matrix()
         if not poison_set:
             return normal_block
+        key = tuple(int(category) for category in poison_set)
+        if self._transform_cache is not None and self._transform_cache[0] == key:
+            return self._transform_cache[1]
         poison_block = np.zeros((self.n_categories, len(poison_set)))
         for column, category in enumerate(poison_set):
             poison_block[category, column] = 1.0
-        return np.hstack([normal_block, poison_block])
+        transform = np.hstack([normal_block, poison_block])
+        self._transform_cache = (key, transform)
+        return transform
 
     def _reconstruct(
         self,
@@ -385,7 +425,7 @@ class FrequencyDAP:
         candidate's cap, and if it does not, the round terminates the greedy
         loop exactly as the cold path would.
         """
-        dense = self.mechanism.transition_matrix()
+        dense = self._transition_matrix()
         poison_set: List[int] = []
         poisoned: set[int] = set()
         gains: List[float] = []
@@ -601,6 +641,7 @@ def _run_frequency_shard_inner(task: _FrequencyShardTask) -> dict:
 
 
 __all__ = [
+    "DENSE_MAX_CATEGORIES",
     "FrequencyDAP",
     "FrequencyDAPResult",
     "PROBE_STRATEGIES",

@@ -14,6 +14,9 @@ This subpackage implements every LDP primitive the paper relies on:
   :class:`~repro.ldp.oue.OptimizedUnaryEncoding`,
   :class:`~repro.ldp.olh.OptimizedLocalHashing` — categorical frequency oracles
   used by the frequency-estimation extension (Figure 9 c/d).
+* :class:`~repro.ldp.count_sketch.CountSketch` — the count-mean-sketch
+  frequency oracle for high-cardinality domains (O(1) reports, ``r x w``
+  mergeable counters).
 * :class:`~repro.ldp.budget.PrivacyBudget` and composition helpers.
 """
 
@@ -28,6 +31,7 @@ from repro.ldp.ems import expectation_maximization_smoothing, em_reconstruct
 from repro.ldp.krr import KRandomizedResponse
 from repro.ldp.oue import OptimizedUnaryEncoding
 from repro.ldp.olh import OptimizedLocalHashing
+from repro.ldp.count_sketch import CountSketch, sketch_row_seeds
 
 __all__ = [
     "NumericalMechanism",
@@ -46,4 +50,6 @@ __all__ = [
     "KRandomizedResponse",
     "OptimizedUnaryEncoding",
     "OptimizedLocalHashing",
+    "CountSketch",
+    "sketch_row_seeds",
 ]

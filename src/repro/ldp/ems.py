@@ -359,7 +359,11 @@ def em_reconstruct_accelerated(
             alpha = -np.sqrt(float(np.dot(r, r)) / vv)
             if alpha < -1.0:  # alpha == -1 reproduces f2 exactly
                 extrapolated = weights - 2.0 * alpha * r + (alpha * alpha) * v
-                np.maximum(extrapolated, 0.0, out=extrapolated)
+                # floor, don't clip: a weight extrapolated to exactly zero is
+                # an absorbing state of the multiplicative EM update, and a
+                # long jump that zeroes a needed coordinate would otherwise
+                # park the iteration on a boundary face it can never leave
+                np.maximum(extrapolated, 1e-16, out=extrapolated)
                 total = extrapolated.sum()
                 if total > 0:
                     stabilised = _em_step(
@@ -378,14 +382,20 @@ def em_reconstruct_accelerated(
         weights, mixture = best_w, best_m
         delta = abs(best_ll - prev_ll)
         prev_ll = best_ll
-        if delta < tol or (
-            stall_tol is not None
-            and ll_floor is not None
-            and best_ll < ll_floor
-            and delta < stall_tol
-        ):
-            # full tolerance, or a sub-floor hypothesis stalling: see the
-            # batched kernel's stall_tol rationale
+        if stall_tol is not None and ll_floor is not None and best_ll < ll_floor and delta < stall_tol:
+            # a sub-floor hypothesis stalling: see the batched kernel's
+            # stall_tol rationale
+            converged = True
+            break
+        if delta < tol:
+            if gap_tol is not None:
+                # the caller asked for a certificate, so an ll-stall alone
+                # does not end the solve: a near-boundary iterate can make
+                # sub-tol progress for many cycles while the duality gap
+                # still certifies it far from the optimum
+                gradient = backend.rmatvec(transform, counts / mixture)
+                if float(gradient.max() - np.dot(weights, gradient)) >= gap_tol:
+                    continue
             converged = True
             break
 
@@ -457,10 +467,15 @@ def em_reconstruct_batch(
         Observed output-bucket counts, length ``d'`` (shared by every
         hypothesis — they explain the same observations).
     tail_rows:
-        ``(H, T)`` integer array of indicator rows.  Hypotheses with fewer
-        than ``T`` real indicator columns are *padded*: repeat any of their
-        real rows and mark the padding ``False`` in ``tail_mask`` — padded
-        components are pinned to weight zero and never influence the fit.
+        ``(H, T)`` integer array of indicator rows, or ``(H, T, S)`` for
+        *spread* tails: tail column ``t`` of hypothesis ``h`` then places
+        mass ``1/S`` on each of the ``S`` distinct rows ``tail_rows[h, t]``
+        (the shape of a sketch poison column, which lands on one cell per
+        sketch row).  ``S = 1`` squeezes to the one-hot path bit-identically.
+        Hypotheses with fewer than ``T`` real tail columns are *padded*:
+        repeat any of their real rows and mark the padding ``False`` in
+        ``tail_mask`` — padded components are pinned to weight zero and
+        never influence the fit.
     tail_mask:
         Optional ``(H, T)`` boolean mask of real (non-padding) tail columns;
         ``None`` means every column is real.
@@ -506,13 +521,33 @@ def em_reconstruct_batch(
     if counts.sum() == 0:
         raise ValueError("counts must contain at least one observation")
     tail_rows = np.asarray(tail_rows, dtype=np.intp)
-    if tail_rows.ndim != 2:
-        raise ValueError(f"tail_rows must be 2-D (H, T), got shape {tail_rows.shape}")
-    n_hypotheses, n_tail = tail_rows.shape
+    spread = None
+    if tail_rows.ndim == 3:
+        if tail_rows.shape[2] == 1:
+            tail_rows = tail_rows[:, :, 0]
+        elif tail_rows.shape[2] > 1:
+            spread = tail_rows.shape[2]
+        else:
+            raise ValueError("spread tail_rows need at least one row per column")
+    if tail_rows.ndim != 2 and spread is None:
+        raise ValueError(
+            f"tail_rows must be (H, T) or (H, T, S), got shape {tail_rows.shape}"
+        )
+    n_hypotheses, n_tail = tail_rows.shape[:2]
     if n_hypotheses == 0:
         raise ValueError("at least one hypothesis is required")
     if n_tail and (tail_rows.min() < 0 or tail_rows.max() >= d_out):
         raise ValueError("tail_rows must index output rows of the dense block")
+    if spread is not None and n_tail:
+        # each spread column scatters 1/S onto its S rows with one
+        # fancy-indexed add per s; duplicate rows within a column would be
+        # silently lost by that add, so they are rejected up front
+        sorted_rows = np.sort(tail_rows, axis=2)
+        if np.any(sorted_rows[:, :, 1:] == sorted_rows[:, :, :-1]):
+            raise ValueError(
+                "spread tail_rows must be distinct within each tail column"
+            )
+    inv_spread = None if spread is None else 1.0 / spread
     if tail_mask is None:
         tail_mask = np.ones((n_hypotheses, n_tail), dtype=bool)
     else:
@@ -554,10 +589,18 @@ def em_reconstruct_batch(
     def _mixtures(w: np.ndarray, rows: np.ndarray, index: np.ndarray) -> np.ndarray:
         """Clamped mixtures for the active block: one GEMM + column scatters."""
         out = backend.matmul(w[:, :n_dense], dense.T)
-        # one fancy-indexed add per tail column: (row, column) pairs within a
-        # single assignment are unique, and padded columns add exact zeros
-        for t in range(n_tail):
-            out[index, rows[:, t]] += w[:, n_dense + t]
+        # one fancy-indexed add per tail column (and per spread slot): the
+        # (row, column) pairs within a single assignment are unique — across
+        # hypotheses trivially, across spread slots by the distinctness
+        # check — and padded columns add exact zeros
+        if spread is None:
+            for t in range(n_tail):
+                out[index, rows[:, t]] += w[:, n_dense + t]
+        else:
+            for t in range(n_tail):
+                share = w[:, n_dense + t] * inv_spread
+                for s in range(spread):
+                    out[index, rows[:, t, s]] += share
         return np.maximum(out, 1e-300)
 
     def _log_likelihoods(mixtures: np.ndarray) -> np.ndarray:
@@ -617,8 +660,12 @@ def em_reconstruct_batch(
                 real_rows = tail_rows[h][tail_mask[h]]
                 transform = np.zeros((d_out, int(real.sum())))
                 transform[:, :n_dense] = dense
-                for t, row in enumerate(real_rows):
-                    transform[row, n_dense + t] = 1.0
+                if spread is None:
+                    for t, row in enumerate(real_rows):
+                        transform[row, n_dense + t] = 1.0
+                else:
+                    for t in range(real_rows.shape[0]):
+                        transform[real_rows[t], n_dense + t] = inv_spread
                 budget = max_iter - iteration
                 if gap_tol is not None:
                     result = em_reconstruct_accelerated(
@@ -646,7 +693,9 @@ def em_reconstruct_batch(
                         initial=w_active[position][real],
                         max_iter=budget,
                         tol=tol,
-                        indicator_tail=real_rows,
+                        # spread columns are not one-hot, so the indicator
+                        # split does not apply to them
+                        indicator_tail=real_rows if spread is None else None,
                     )
                 weights[h][real] = result.weights
                 weights[h][~real] = 0.0
@@ -659,8 +708,14 @@ def em_reconstruct_batch(
         ratios = counts / mixtures  # zero counts contribute zero everywhere
         aggregates = np.empty((active.size, n_components))
         backend.matmul(ratios, dense, out=aggregates[:, :n_dense])
-        for t in range(n_tail):
-            aggregates[:, n_dense + t] = ratios[index, rows_active[:, t]]
+        if spread is None:
+            for t in range(n_tail):
+                aggregates[:, n_dense + t] = ratios[index, rows_active[:, t]]
+        else:
+            for t in range(n_tail):
+                aggregates[:, n_dense + t] = inv_spread * (
+                    ratios[index[:, None], rows_active[:, t, :]].sum(axis=1)
+                )
         responsibilities = w_active * aggregates
         totals = responsibilities.sum(axis=1)
         if use_bounds:

@@ -27,6 +27,10 @@ from repro.utils.rng import RngLike, ensure_rng
 _MIX_1 = np.uint64(0xBF58476D1CE4E5B9)
 _MIX_2 = np.uint64(0x94D049BB133111EB)
 
+#: OLH decoding compares every candidate category against every user's hash;
+#: the O(k * n) support pass makes larger domains impractical
+OLH_MAX_CATEGORIES = 1 << 17
+
 
 def _hash_categories(categories: np.ndarray, seeds: np.ndarray, domain: int) -> np.ndarray:
     """Hash each ``(seed, category)`` pair into ``[0, domain)``."""
@@ -43,6 +47,13 @@ class OptimizedLocalHashing(CategoricalMechanism):
 
     def __init__(self, epsilon: float, n_categories: int) -> None:
         super().__init__(epsilon, n_categories)
+        if self.n_categories > OLH_MAX_CATEGORIES:
+            raise ValueError(
+                f"n_categories={self.n_categories} exceeds the OLH limit "
+                f"({OLH_MAX_CATEGORIES}): decoding scans every (category, "
+                f"user) pair; use the 'count-sketch' mechanism for "
+                f"high-cardinality domains"
+            )
         exp_eps = math.exp(self.epsilon)
         #: hashed domain size
         self.g = max(2, int(round(exp_eps)) + 1)
@@ -87,4 +98,4 @@ class OptimizedLocalHashing(CategoricalMechanism):
         )
 
 
-__all__ = ["OptimizedLocalHashing"]
+__all__ = ["OptimizedLocalHashing", "OLH_MAX_CATEGORIES"]

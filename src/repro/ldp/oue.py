@@ -21,6 +21,13 @@ from repro.ldp.base import CategoricalMechanism, MechanismError
 from repro.registry import MECHANISMS
 from repro.utils.rng import RngLike, ensure_rng
 
+#: OUE materialises one bit per (user, category); domains past this make
+#: even single-user reports wasteful and belong on the sketch route
+OUE_MAX_CATEGORIES = 65536
+
+#: cap on the ``n x k`` bit matrix a single ``perturb`` call may allocate
+OUE_MAX_REPORT_CELLS = 1 << 27
+
 
 @MECHANISMS.register("oue", kind="categorical")
 class OptimizedUnaryEncoding(CategoricalMechanism):
@@ -28,6 +35,13 @@ class OptimizedUnaryEncoding(CategoricalMechanism):
 
     def __init__(self, epsilon: float, n_categories: int) -> None:
         super().__init__(epsilon, n_categories)
+        if self.n_categories > OUE_MAX_CATEGORIES:
+            raise ValueError(
+                f"n_categories={self.n_categories} exceeds the OUE limit "
+                f"({OUE_MAX_CATEGORIES}): every report is a length-k bit "
+                f"vector; use the 'count-sketch' mechanism for "
+                f"high-cardinality domains"
+            )
         exp_eps = math.exp(self.epsilon)
         #: probability of keeping a 1-bit
         self.p = 0.5
@@ -38,6 +52,15 @@ class OptimizedUnaryEncoding(CategoricalMechanism):
         """Perturb categories into bit matrices of shape ``(n, k)``."""
         rng = ensure_rng(rng)
         categories = self._validate_categories(categories).ravel()
+        cells = categories.size * self.n_categories
+        if cells > OUE_MAX_REPORT_CELLS:
+            gib = cells / 2**30  # one byte per bit cell
+            raise ValueError(
+                f"OUE perturb would allocate an {categories.size} x "
+                f"{self.n_categories} bit matrix (~{gib:.1f} GiB); chunk the "
+                f"users or use the 'count-sketch' mechanism for "
+                f"high-cardinality domains"
+            )
         return get_backend().oue_sample(
             categories, self.n_categories, self.p, self.q, rng
         )
@@ -63,4 +86,4 @@ class OptimizedUnaryEncoding(CategoricalMechanism):
         )
 
 
-__all__ = ["OptimizedUnaryEncoding"]
+__all__ = ["OptimizedUnaryEncoding", "OUE_MAX_CATEGORIES", "OUE_MAX_REPORT_CELLS"]

@@ -197,6 +197,8 @@ SCENARIO_KEYS = (
     "collect_workers",
     "probe_strategy",
     "backend",
+    "sketch_rows",
+    "sketch_width",
     "population",
 )
 
@@ -261,6 +263,13 @@ class ScenarioSpec:
         ``probe_strategy`` — excluded from :meth:`document` and the resume
         digest, recorded only in ``meta.execution`` — though the fast
         backends draw statistically equivalent (not bit-identical) samples.
+    sketch_rows, sketch_width:
+        Count-sketch geometry for sketch-backed categorical components.
+        **Identity** knobs (unlike ``backend``): the sketch's hash rows and
+        width determine every report bit, so when set they are part of
+        :meth:`document` and the resume digest.  ``None`` (the default)
+        leaves them out of the document entirely, keeping digests of
+        existing non-sketch scenarios unchanged.
     """
 
     name: str
@@ -280,6 +289,8 @@ class ScenarioSpec:
     collect_workers: int | None = None
     probe_strategy: str | None = None
     backend: str | None = None
+    sketch_rows: int | None = None
+    sketch_width: int | None = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -332,6 +343,12 @@ class ScenarioSpec:
             check_probe_strategy(self.probe_strategy)
         if self.backend is not None:
             check_backend(self.backend)
+        if self.sketch_rows is not None:
+            self.sketch_rows = check_integer(self.sketch_rows, "sketch_rows", minimum=1)
+        if self.sketch_width is not None:
+            self.sketch_width = check_integer(
+                self.sketch_width, "sketch_width", minimum=2
+            )
 
     # ------------------------------------------------------------------
     # construction from documents
@@ -365,7 +382,7 @@ class ScenarioSpec:
         }
         for key in ("description", "attacks", "datasets", "gammas", "seed",
                     "epsilon_min", "batched", "chunk_size", "collect_workers",
-                    "probe_strategy", "backend"):
+                    "probe_strategy", "backend", "sketch_rows", "sketch_width"):
             if key in payload:
                 kwargs[key] = payload[key]
         n_trials = payload.get("trials", payload.get("n_trials"))
@@ -401,8 +418,12 @@ class ScenarioSpec:
         rest, so a run started in memory must stay resumable with
         ``--chunk-size``, ``--collect-workers``, ``--probe-strategy`` or
         ``--backend`` set.
+
+        The sketch geometry knobs are the opposite: they change report bits,
+        so when set they enter the document (and digest) — but only when
+        set, so non-sketch scenario digests are stable across versions.
         """
-        return {
+        document = {
             "name": self.name,
             "description": self.description,
             "schemes": list(self.schemes),
@@ -420,6 +441,11 @@ class ScenarioSpec:
             "epsilon_min": self.epsilon_min,
             "batched": self.batched,
         }
+        if self.sketch_rows is not None:
+            document["sketch_rows"] = self.sketch_rows
+        if self.sketch_width is not None:
+            document["sketch_width"] = self.sketch_width
+        return document
 
     def digest(self) -> str:
         """Stable hash of :meth:`document` (part of the spec fingerprint)."""

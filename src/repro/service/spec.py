@@ -65,6 +65,8 @@ SERVICE_KEYS = (
     "input_domain",
     "warm_probe",
     "probe_strategy",
+    "sketch_rows",
+    "sketch_width",
     "detector",
     "backend",
     "collect_shards",
@@ -115,6 +117,11 @@ class ServiceSpec:
         changes iterate-level floating point.
     probe_strategy:
         ``"batched"`` or ``"cold"`` (identity here; see module docstring).
+    sketch_rows, sketch_width:
+        Count-sketch geometry for sketch-backed categorical collection.
+        Identity when set (the hash rows and width determine every report
+        bit); ``None`` leaves them out of :meth:`document`, so digests of
+        existing non-sketch services are unchanged.
     detector:
         Change-detector overrides merged over :data:`DEFAULT_DETECTOR`.
     backend, collect_shards, collect_workers, checkpoint_every:
@@ -137,6 +144,8 @@ class ServiceSpec:
     input_domain: Tuple[float, float] = (-1.0, 1.0)
     warm_probe: bool = True
     probe_strategy: str = "batched"
+    sketch_rows: int | None = None
+    sketch_width: int | None = None
     detector: Dict[str, Any] = field(default_factory=dict)
     backend: str | None = None
     collect_shards: int = 1
@@ -158,6 +167,10 @@ class ServiceSpec:
             check_integer(self.collect_workers, "collect_workers", minimum=1)
         check_integer(self.checkpoint_every, "checkpoint_every", minimum=1)
         check_probe_strategy(self.probe_strategy)
+        if self.sketch_rows is not None:
+            check_integer(self.sketch_rows, "sketch_rows", minimum=1)
+        if self.sketch_width is not None:
+            check_integer(self.sketch_width, "sketch_width", minimum=2)
         if self.backend is not None:
             check_backend(self.backend)
         if len(self.input_domain) != 2:
@@ -217,8 +230,10 @@ class ServiceSpec:
         ``collect_workers``, ``checkpoint_every``) are excluded, exactly as
         the scenario digest excludes its collection knobs: a stream started
         serially must stay resumable from its checkpoint with a shard pool.
+        The sketch geometry knobs enter only when set, so digests of
+        existing non-sketch services are unchanged.
         """
-        return {
+        document = {
             "name": self.name,
             "description": self.description,
             "epsilon": self.epsilon,
@@ -236,6 +251,11 @@ class ServiceSpec:
             "probe_strategy": self.probe_strategy,
             "detector": self.detector_config(),
         }
+        if self.sketch_rows is not None:
+            document["sketch_rows"] = self.sketch_rows
+        if self.sketch_width is not None:
+            document["sketch_width"] = self.sketch_width
+        return document
 
     def digest(self) -> str:
         """Stable hash of :meth:`document`; guards checkpoint compatibility."""

@@ -25,16 +25,19 @@ from typing import Callable, Dict, Iterator, Mapping, TypeVar
 
 _F = TypeVar("_F", bound=Callable)
 
-#: the canonical stage names, in pipeline order; the ``collect.*`` entries
-#: are sub-timers that deliberately nest *inside* the ``collect`` stage
-#: (mechanism sampling, poison-report drawing, accumulator updates), so
-#: ``collect`` bounds their sum rather than adding to it
+#: the canonical stage names, in pipeline order; the ``collect.*`` and
+#: ``probe.*`` entries are sub-timers that deliberately nest *inside* their
+#: parent stage (mechanism sampling, poison-report drawing, accumulator
+#: updates under ``collect``; sketch decoding and the greedy EM under
+#: ``probe``), so the parent bounds their sum rather than adding to it
 STAGES = (
     "collect",
     "collect.sample",
     "collect.poison",
     "collect.accumulate",
     "probe",
+    "probe.decode",
+    "probe.em",
     "aggregate",
     "defense",
 )
