@@ -29,6 +29,7 @@ from typing import List, Sequence
 
 from repro.backends import BACKENDS
 from repro.core.probing import PROBE_STRATEGIES
+from repro.protocol.plan import PROTOCOL_NAMES
 from repro.registry import ALL_REGISTRIES
 from repro.scenario import ScenarioSpec, format_scenario_records, run_scenario
 
@@ -124,8 +125,11 @@ def _execute(args: argparse.Namespace, resume: bool, require_artifact: bool) -> 
         overrides["probe_strategy"] = args.probe_strategy
     if args.backend is not None:
         overrides["backend"] = args.backend
-    # sketch geometry is identity: overriding it changes the document digest,
-    # so a run started at one geometry cannot silently resume into another
+    # sketch geometry and trust model are identity: overriding them changes
+    # the document digest, so a run recorded under one adversary model or
+    # sketch geometry cannot silently resume into another
+    if args.protocol is not None:
+        overrides["protocol"] = args.protocol
     if args.sketch_rows is not None:
         overrides["sketch_rows"] = args.sketch_rows
     if args.sketch_width is not None:
@@ -216,6 +220,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         overrides["window_size"] = args.window_size
     if args.probe_strategy is not None:
         overrides["probe_strategy"] = args.probe_strategy
+    if args.protocol is not None:
+        overrides["protocol"] = args.protocol
     if args.sketch_rows is not None:
         overrides["sketch_rows"] = args.sketch_rows
     if args.sketch_width is not None:
@@ -347,6 +353,16 @@ def build_parser() -> argparse.ArgumentParser:
         "scenario's 'backend'; default: the scenario's setting, else numpy",
     )
     run_parser.add_argument(
+        "--protocol",
+        choices=PROTOCOL_NAMES,
+        default=None,
+        help="trust model the collection runs under: 'local' (classical "
+        "local model) or 'shuffle' (a shuffler breaks the sender-to-group "
+        "linkage and the artifact carries a privacy-amplification ledger); "
+        "identity: enters the scenario digest when not 'local'; overrides "
+        "the scenario's 'protocol'",
+    )
+    run_parser.add_argument(
         "--sketch-rows",
         type=_sketch_rows,
         default=None,
@@ -402,6 +418,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--probe-strategy", choices=PROBE_STRATEGIES, default=None
     )
     resume_parser.add_argument("--backend", choices=BACKENDS, default=None)
+    resume_parser.add_argument("--protocol", choices=PROTOCOL_NAMES, default=None)
     resume_parser.add_argument("--sketch-rows", type=_sketch_rows, default=None)
     resume_parser.add_argument("--sketch-width", type=_sketch_width, default=None)
     resume_parser.add_argument("--store", default=None)
@@ -454,6 +471,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="probe hypothesis-evaluation strategy (identity for services: "
         "it is pinned by the checkpoint digest)",
+    )
+    serve_parser.add_argument(
+        "--protocol",
+        choices=PROTOCOL_NAMES,
+        default=None,
+        help="trust model the windows collect under (identity: a shuffle "
+        "stream keeps its own checkpoint digest)",
     )
     serve_parser.add_argument(
         "--sketch-rows",

@@ -29,6 +29,15 @@ count (corrected mean) — so the whole pipeline also runs in bounded memory:
 ``aggregate_accumulated`` / ``aggregate_stats`` run stages 3-5 on the
 accumulated statistics, bit-identical to the in-memory path on the same
 reports.
+
+Every collection path (in-memory, streaming, sharded) lowers to the shared
+client → transport → server pipeline of :mod:`repro.protocol`: the client
+stage applies the contribution cap and hands compromised slots to the
+attack (under the shuffle protocol, against the group-blind
+domain-intersection view), the transport stage is an identity pass-through
+(``protocol="local"``) or the seeded shuffler (``protocol="shuffle"``),
+and the server stage folds accumulators and — under shuffle — writes the
+privacy-amplification ledger into :class:`DAPResult`.
 """
 
 from __future__ import annotations
@@ -58,6 +67,9 @@ from repro.core.transform import cached_transform_matrix, default_bucket_counts
 from repro.ldp.base import NumericalMechanism
 from repro.ldp.budget import dap_budget_ladder
 from repro.ldp.piecewise import PiecewiseMechanism
+from repro.protocol.client import intersection_output_domain
+from repro.protocol.pipeline import ProtocolPipeline
+from repro.protocol.plan import ProtocolPlan, check_contribution_cap, check_protocol
 from repro.utils.discretization import BucketGrid
 from repro.utils.profiling import profiled_stage, stage
 from repro.utils.rng import RngLike, ensure_rng
@@ -106,6 +118,19 @@ class DAPConfig:
         bit-identical to the seed implementation.  A pure execution detail
         of the collector (see
         :func:`repro.core.probing.probe_poisoned_side`).
+    protocol:
+        Trust model of the round (identity knob): ``"local"`` (default;
+        bit-identical to the historical behaviour) or ``"shuffle"`` (seeded
+        shuffler transport, group-blind adversary, amplification ledger) —
+        see :mod:`repro.protocol`.
+    contribution_cap:
+        Client-gate upper bound on reports per user (``None`` = no cap).
+        Reports beyond the cap are dropped deterministically before
+        perturbation and tallied into ``DAPResult.skipped_reports``.
+    shuffle_seed:
+        Execution-detail reseed of the shuffler's permutation lanes; cannot
+        change any accumulator statistic (property-tested), so it never
+        enters documents or fingerprints.
     """
 
     epsilon: float
@@ -119,6 +144,9 @@ class DAPConfig:
     intra_group_mean: Literal["corrected_sum", "distribution"] = "corrected_sum"
     max_reports_per_user: int = 64
     probe_strategy: str = "batched"
+    protocol: str = "local"
+    contribution_cap: int | None = None
+    shuffle_seed: int = 0
 
     def __post_init__(self) -> None:
         check_positive(self.epsilon, "epsilon")
@@ -140,6 +168,17 @@ class DAPConfig:
             )
         check_integer(self.max_reports_per_user, "max_reports_per_user", minimum=1)
         check_probe_strategy(self.probe_strategy)
+        check_protocol(self.protocol)
+        check_contribution_cap(self.contribution_cap)
+
+    @property
+    def protocol_plan(self) -> ProtocolPlan:
+        """The pipeline contract this configuration lowers to."""
+        return ProtocolPlan(
+            protocol=self.protocol,
+            contribution_cap=self.contribution_cap,
+            shuffle_seed=self.shuffle_seed,
+        )
 
     @property
     def budget_ladder(self) -> List[float]:
@@ -230,6 +269,14 @@ class DAPResult:
         The probing stage's full :class:`~repro.core.features.ByzantineFeatures`
         (both side EMF runs included), so incremental callers can warm-start
         the next round's probe from ``features.probe.warm_weights()``.
+    skipped_reports:
+        Reports dropped by the contribution-cap client gate (0 when no cap
+        is configured); filled by the end-to-end entry points, which know
+        the population size.
+    amplification:
+        Privacy-amplification ledger, one row per contributing group
+        (``epsilon_local`` / ``n_reports`` / ``delta`` / ``epsilon_central``
+        / ``amplification_factor``); ``None`` under the local protocol.
     """
 
     estimate: float
@@ -237,11 +284,46 @@ class DAPResult:
     gamma_hat: float
     group_estimates: List[GroupEstimate] = field(default_factory=list)
     features: ByzantineFeatures | None = None
+    skipped_reports: int = 0
+    amplification: List[dict] | None = None
 
     @property
     def weights(self) -> np.ndarray:
         """Aggregation weights, in group order."""
         return np.array([g.weight for g in self.group_estimates])
+
+
+def _client_perturb(
+    mechanism: NumericalMechanism,
+    values: np.ndarray,
+    repeats: int,
+    rng: RngLike,
+) -> np.ndarray:
+    """Client stage, honest users: perturb ``repeats`` reports per value.
+
+    The single perturbation kernel every collection path (in-memory,
+    streaming, sharded worker) lowers to.
+    """
+    with stage("collect.sample"):
+        return mechanism.perturb(np.repeat(values, repeats), rng)
+
+
+def _client_poison(
+    attack: Attack,
+    mechanism_view: NumericalMechanism,
+    n_reports: int,
+    reference_mean: float,
+    rng: RngLike,
+) -> np.ndarray:
+    """Client stage, compromised users: draw poison against a mechanism view.
+
+    ``mechanism_view`` is the group's own mechanism under the local
+    protocol, or the group-blind domain-intersection view under shuffle.
+    """
+    with stage("collect.poison"):
+        return attack.poison_reports(
+            n_reports, mechanism_view, reference_mean, rng
+        ).reports
 
 
 class DAPProtocol:
@@ -252,6 +334,55 @@ class DAPProtocol:
         self._mechanisms = {
             eps: config.mechanism_factory(eps) for eps in config.budget_ladder
         }
+
+    # ------------------------------------------------------------------
+    # protocol pipeline (client → transport → server contract)
+    # ------------------------------------------------------------------
+    @property
+    def plan(self) -> ProtocolPlan:
+        """The protocol contract, derived lazily from the (mutable) config."""
+        return self.config.protocol_plan
+
+    @property
+    def pipeline(self) -> ProtocolPipeline:
+        """Stage helpers for the configured protocol (cheap to build)."""
+        return ProtocolPipeline(self.plan)
+
+    def adversary_mechanism(self, epsilon: float) -> NumericalMechanism:
+        """The mechanism view the attack stage sees for one budget group.
+
+        Local protocol: the group's own mechanism.  Shuffle protocol: the
+        group-blind :class:`~repro.ldp.base.DomainRestrictedMechanism` over
+        the ladder-wide output-domain intersection.
+        """
+        return self.pipeline.adversary_view(
+            self.mechanism_for(epsilon), self._mechanisms
+        )
+
+    def contribution_summary(self, n_total: int) -> int:
+        """Reports the contribution cap drops for ``n_total`` users.
+
+        Deterministic without simulating: group head-counts are fixed by
+        the nearly-equal split and per-user multiplicities by the ladder.
+        """
+        return self.pipeline.skipped_reports(
+            self.group_sizes(n_total),
+            [self._uncapped_reports_per_user(eps) for eps in self.config.budget_ladder],
+        )
+
+    def poison_domain(self) -> tuple[float, float] | None:
+        """The poison support the *server* may assume, per trust model.
+
+        The server conditions its reconstruction on the same contract the
+        adversary is bound by: under the shuffle protocol poison lies in
+        the ladder-wide output-domain intersection, so stages 3-4 restrict
+        their poison columns to it; under the local protocol the adversary
+        owns each group's whole poisoned side (``None`` — the historical,
+        bit-identical hypotheses).
+        """
+        if not self.plan.is_shuffle:
+            return None
+        return intersection_output_domain(tuple(self._mechanisms.values()))
 
     # ------------------------------------------------------------------
     # client-side simulation
@@ -273,10 +404,13 @@ class DAPProtocol:
         Normal users perturb their value ``eps / eps_t`` times with their
         group's mechanism; Byzantine users submit the same number of poison
         reports drawn from the attack strategy against that group's output
-        domain.
+        domain (under the shuffle protocol, against the group-blind
+        domain-intersection view), and each group's batch then rides the
+        transport stage — identity (local) or the seeded shuffler.
         """
         rng = ensure_rng(rng)
         attack = attack or NoAttack()
+        pipeline = self.pipeline
         normal_values = np.asarray(normal_values, dtype=float).ravel()
         n_byzantine = check_integer(n_byzantine, "n_byzantine", minimum=0)
 
@@ -303,21 +437,25 @@ class DAPProtocol:
             repeats = self._reports_per_user(epsilon_t)
 
             pieces = []
-            if normal_members.size:
-                values = np.repeat(normal_values[normal_members], repeats)
-                with stage("collect.sample"):
-                    pieces.append(mechanism.perturb(values, rng))
-            if byzantine_members.size:
-                reference = self._reference_mean(mechanism)
-                with stage("collect.poison"):
-                    poison = attack.poison_reports(
+            if normal_members.size and repeats:
+                pieces.append(
+                    _client_perturb(
+                        mechanism, normal_values[normal_members], repeats, rng
+                    )
+                )
+            if byzantine_members.size and repeats:
+                view = pipeline.adversary_view(mechanism, self._mechanisms)
+                pieces.append(
+                    _client_poison(
+                        attack,
+                        view,
                         int(byzantine_members.size) * repeats,
-                        mechanism,
-                        reference,
+                        self._reference_mean(view),
                         rng,
-                    ).reports
-                pieces.append(poison)
+                    )
+                )
             reports = np.concatenate(pieces) if pieces else np.empty(0)
+            reports = pipeline.deliver(reports, (group_index, reports.size))
             groups.append(
                 GroupCollection(
                     epsilon=epsilon_t, reports=reports, n_users=int(members.size)
@@ -325,10 +463,14 @@ class DAPProtocol:
             )
         return groups
 
-    def _reports_per_user(self, epsilon_t: float) -> int:
-        """How many reports a user in the ``epsilon_t`` group submits."""
+    def _uncapped_reports_per_user(self, epsilon_t: float) -> int:
+        """The ladder's per-user multiplicity, before the contribution cap."""
         repeats = int(round(self.config.epsilon / epsilon_t))
         return max(1, min(repeats, self.config.max_reports_per_user))
+
+    def _reports_per_user(self, epsilon_t: float) -> int:
+        """How many reports a user in the ``epsilon_t`` group submits."""
+        return self.plan.effective_repeats(self._uncapped_reports_per_user(epsilon_t))
 
     def _reference_mean(self, mechanism: NumericalMechanism) -> float:
         if self.config.reference_mean is not None:
@@ -398,6 +540,7 @@ class DAPProtocol:
         """
         rng = ensure_rng(rng)
         attack = attack or NoAttack()
+        pipeline = self.pipeline
         n_normal = check_integer(n_normal, "n_normal", minimum=0)
         n_byzantine = check_integer(n_byzantine, "n_byzantine", minimum=0)
         n_total = n_normal + n_byzantine
@@ -429,6 +572,10 @@ class DAPProtocol:
         ]
 
         consumed = 0
+        # one delivery lane per (group, delivered batch): streaming batches
+        # ride the transport independently, so the shuffler composes with
+        # any chunking (its statistics are permutation-invariant anyway)
+        lane_counters = [0] * h
         for chunk in value_chunks:
             chunk = np.asarray(chunk, dtype=float).ravel()
             if chunk.size == 0:
@@ -445,12 +592,15 @@ class DAPProtocol:
             rng.shuffle(assignment)
             for group_index, epsilon_t in enumerate(ladder):
                 values = chunk[assignment == group_index]
-                if not values.size:
-                    continue
                 repeats = self._reports_per_user(epsilon_t)
+                if not values.size or not repeats:
+                    continue
                 mechanism = self.mechanism_for(epsilon_t)
-                with stage("collect.sample"):
-                    reports = mechanism.perturb(np.repeat(values, repeats), rng)
+                reports = _client_perturb(mechanism, values, repeats, rng)
+                reports = pipeline.deliver(
+                    reports, (group_index, lane_counters[group_index], reports.size)
+                )
+                lane_counters[group_index] += 1
                 with stage("collect.accumulate"):
                     accumulators[group_index].update(reports)
         if consumed != n_normal:
@@ -461,13 +611,15 @@ class DAPProtocol:
 
         for group_index, epsilon_t in enumerate(ladder):
             n_byz = int(byz_counts[group_index])
-            if not n_byz:
-                continue
-            mechanism = self.mechanism_for(epsilon_t)
-            reference = self._reference_mean(mechanism)
             n_poison = n_byz * self._reports_per_user(epsilon_t)
+            if not n_poison:
+                continue
+            view = pipeline.adversary_view(
+                self.mechanism_for(epsilon_t), self._mechanisms
+            )
+            reference = self._reference_mean(view)
             chunks = attack.poison_report_chunks(
-                n_poison, mechanism, reference, rng, chunk_size=poison_chunk_size
+                n_poison, view, reference, rng, chunk_size=poison_chunk_size
             )
             # drive the generator with next() so the poison drawing and the
             # accumulator update land in their own sub-timers (a for-loop
@@ -477,6 +629,10 @@ class DAPProtocol:
                     piece = next(chunks, None)
                 if piece is None:
                     break
+                piece = pipeline.deliver(
+                    piece, (group_index, lane_counters[group_index], piece.size)
+                )
+                lane_counters[group_index] += 1
                 with stage("collect.accumulate"):
                     accumulators[group_index].update(piece)
         return accumulators
@@ -639,7 +795,11 @@ class DAPProtocol:
             n_workers=n_workers,
             block_size=block_size,
         )
-        return self.aggregate_accumulated(accumulators)
+        result = self.aggregate_accumulated(accumulators)
+        result.skipped_reports = self.contribution_summary(
+            int(np.asarray(normal_values).size) + int(n_byzantine)
+        )
+        return result
 
     # ------------------------------------------------------------------
     # collector side
@@ -714,6 +874,7 @@ class DAPProtocol:
                 epsilon=probe_stats.epsilon,
                 strategy=self.config.probe_strategy,
                 warm_start=probe_warm_start,
+                poison_domain=self.poison_domain(),
             )
         side = features.side
         gamma_global = features.gamma_hat
@@ -759,6 +920,10 @@ class DAPProtocol:
             gamma_hat=gamma_global,
             group_estimates=estimates,
             features=features,
+            amplification=self.pipeline.ledger(
+                [group.epsilon for group in stats],
+                [group.n_reports for group in stats],
+            ),
         )
 
     def _check_stats_geometry(self, stats: GroupStats) -> None:
@@ -811,6 +976,7 @@ class DAPProtocol:
                 n_output_buckets=d_out,
                 side=side,
                 reference_mean=self.config.reference_mean,
+                poison_domain=self.poison_domain(),
             )
         counts = group.output_counts
 
@@ -884,6 +1050,7 @@ class DAPProtocol:
             and transform.output_grid.n_buckets == d_out
             and transform.side == side
             and (reference is None or transform.reference_mean == float(reference))
+            and transform.poison_domain == self.poison_domain()
         )
 
     def _bucket_counts(self, n_reports: int, epsilon: float) -> tuple[int, int]:
@@ -906,7 +1073,11 @@ class DAPProtocol:
     ) -> DAPResult:
         """Simulate one full DAP round (client + collector)."""
         groups = self.collect(normal_values, attack, n_byzantine, rng)
-        return self.aggregate(groups)
+        result = self.aggregate(groups)
+        result.skipped_reports = self.contribution_summary(
+            int(np.asarray(normal_values).size) + int(n_byzantine)
+        )
+        return result
 
     def run_stream(
         self,
@@ -920,7 +1091,11 @@ class DAPProtocol:
         accumulators = self.collect_stream(
             value_chunks, n_normal, attack, n_byzantine, rng=rng
         )
-        return self.aggregate_accumulated(accumulators)
+        result = self.aggregate_accumulated(accumulators)
+        result.skipped_reports = self.contribution_summary(
+            int(n_normal) + int(n_byzantine)
+        )
+        return result
 
 
 # ----------------------------------------------------------------------
@@ -965,6 +1140,7 @@ def _run_shard(task: _ShardTask) -> List[Tuple[int, dict]]:
 
 def _run_shard_inner(task: _ShardTask) -> List[Tuple[int, dict]]:
     protocol = DAPProtocol(task.config)
+    pipeline = protocol.pipeline
     block = task.block_size
     states: List[Tuple[int, dict]] = []
     for payload in task.groups:
@@ -982,29 +1158,33 @@ def _run_shard_inner(task: _ShardTask) -> List[Tuple[int, dict]]:
         )
         for index, seed in enumerate(payload.normal_seeds):
             chunk = payload.values[index * block : (index + 1) * block]
-            if not chunk.size:
+            if not chunk.size or not repeats:
                 continue
-            with stage("collect.sample"):
-                reports = mechanism.perturb(
-                    np.repeat(chunk, repeats), np.random.default_rng(int(seed))
-                )
+            reports = _client_perturb(
+                mechanism, chunk, repeats, np.random.default_rng(int(seed))
+            )
+            # the block seed is the shard-partition-invariant lane key, so
+            # shuffled merges stay bit-identical at any shard/worker count
+            reports = pipeline.deliver(reports, (int(seed),))
             with stage("collect.accumulate"):
                 accumulator.update(reports)
-        if payload.n_byzantine:
-            reference = protocol._reference_mean(mechanism)
+        if payload.n_byzantine and repeats:
+            view = pipeline.adversary_view(mechanism, protocol._mechanisms)
+            reference = protocol._reference_mean(view)
             remaining = payload.n_byzantine
             for seed in payload.byzantine_seeds:
                 n_users_block = min(block, remaining)
                 remaining -= n_users_block
                 if not n_users_block:
                     continue
-                with stage("collect.poison"):
-                    poison = task.attack.poison_reports(
-                        n_users_block * repeats,
-                        mechanism,
-                        reference,
-                        np.random.default_rng(int(seed)),
-                    ).reports
+                poison = _client_poison(
+                    task.attack,
+                    view,
+                    n_users_block * repeats,
+                    reference,
+                    np.random.default_rng(int(seed)),
+                )
+                poison = pipeline.deliver(poison, (int(seed),))
                 with stage("collect.accumulate"):
                     accumulator.update(poison)
         states.append((payload.group_index, accumulator.state_dict()))

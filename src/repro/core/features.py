@@ -73,6 +73,7 @@ def estimate_byzantine_features(
     n_reports: int | None = None,
     strategy: str = "batched",
     warm_start: Mapping[str, np.ndarray] | None = None,
+    poison_domain: tuple[float, float] | None = None,
 ) -> ByzantineFeatures:
     """Probe the Byzantine features from one batch of reports.
 
@@ -84,9 +85,11 @@ def estimate_byzantine_features(
     ``n_output_buckets``, which is then required) plus ``n_reports`` (used
     for the default bucket formulas; defaults to ``counts.sum()``).
 
-    ``strategy`` selects how the side hypotheses are evaluated, and
+    ``strategy`` selects how the side hypotheses are evaluated,
     ``warm_start`` optionally seeds both side EMs from a previous probe's
-    converged weights (see :func:`repro.core.probing.probe_poisoned_side`).
+    converged weights, and ``poison_domain`` restricts the poison-column
+    support when the trust model bounds the adversary's values (see
+    :func:`repro.core.probing.probe_poisoned_side`).
     """
     if (reports is None) == (counts is None):
         raise ValueError("provide exactly one of `reports` or `counts`")
@@ -116,6 +119,7 @@ def estimate_byzantine_features(
         counts=counts,
         strategy=strategy,
         warm_start=warm_start,
+        poison_domain=poison_domain,
     )
     emf = probe.selected
     return ByzantineFeatures(

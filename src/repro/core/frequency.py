@@ -39,6 +39,8 @@ from repro.core.emf_star import constrained_m_step
 from repro.core.probing import PROBE_STRATEGIES, check_probe_strategy
 from repro.ldp.ems import EMResult, em_reconstruct, em_reconstruct_batch
 from repro.ldp.krr import KRandomizedResponse
+from repro.protocol.pipeline import ProtocolPipeline
+from repro.protocol.plan import ProtocolPlan
 from repro.utils.profiling import profiled_stage, stage
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_integer, check_positive
@@ -87,6 +89,10 @@ class FrequencyDAPResult:
     poisoned_categories: List[int] = field(default_factory=list)
     gamma_hat: float = 0.0
     log_likelihood_gains: List[float] = field(default_factory=list)
+    #: reports dropped by the contribution-cap client gate (end-to-end runs)
+    skipped_reports: int = 0
+    #: privacy-amplification ledger (``None`` under the local protocol)
+    amplification: List[dict] | None = None
 
 
 class FrequencyDAP:
@@ -129,6 +135,9 @@ class FrequencyDAP:
         max_poisoned: int | None = None,
         min_likelihood_gain: float = 2.0,
         probe_strategy: str = "batched",
+        protocol: str = "local",
+        contribution_cap: int | None = None,
+        shuffle_seed: int = 0,
     ) -> None:
         self.epsilon = check_positive(epsilon, "epsilon")
         self.n_categories = check_integer(n_categories, "n_categories", minimum=2)
@@ -151,12 +160,37 @@ class FrequencyDAP:
         )
         self.min_likelihood_gain = check_positive(min_likelihood_gain, "min_likelihood_gain")
         self.probe_strategy = check_probe_strategy(probe_strategy)
+        # the frequency route has a single budget group, so the shuffle
+        # protocol leaves the adversary's reach unchanged (poison is already
+        # category-targeted); what shuffling adds here is the amplification
+        # ledger and the transport mixing (statistics-invariant)
+        self.protocol_plan = ProtocolPlan(
+            protocol=protocol,
+            contribution_cap=contribution_cap,
+            shuffle_seed=shuffle_seed,
+        )
         self.mechanism = KRandomizedResponse(epsilon, n_categories)
         # transform caches: the k x k normal block never changes for a given
         # instance, and repeated solves over one poison set (plain EMF, then
         # the gamma-constrained re-solve) reuse the identical stacked matrix
         self._normal_block: np.ndarray | None = None
         self._transform_cache: tuple[tuple[int, ...], np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    # protocol pipeline
+    # ------------------------------------------------------------------
+    @property
+    def pipeline(self) -> ProtocolPipeline:
+        """Stage helpers for the configured protocol (cheap to build)."""
+        return ProtocolPipeline(self.protocol_plan)
+
+    def _reports_per_user(self) -> int:
+        """Each user sends one k-RR report, unless the cap drops it."""
+        return self.protocol_plan.effective_repeats(1)
+
+    def contribution_summary(self, n_total: int) -> int:
+        """Reports the contribution cap drops for ``n_total`` users."""
+        return self.pipeline.skipped_reports([int(n_total)], [1])
 
     # ------------------------------------------------------------------
     # client-side simulation helpers
@@ -174,13 +208,16 @@ class FrequencyDAP:
         Normal users perturb their category with k-RR; Byzantine users report
         one of the ``poisoned_categories`` directly (uniformly at random among
         them), which is the strongest attack available in the k-RR output
-        domain.
+        domain.  The combined batch then rides the transport stage.
         """
         rng = ensure_rng(rng)
+        pipeline = self.pipeline
         normal_categories = np.asarray(normal_categories, dtype=int)
+        n_byzantine = check_integer(n_byzantine, "n_byzantine", minimum=0)
+        if not self._reports_per_user():
+            return np.empty(0, dtype=int)
         with stage("collect.sample"):
             reports = [self.mechanism.perturb(normal_categories, rng)]
-        n_byzantine = check_integer(n_byzantine, "n_byzantine", minimum=0)
         if n_byzantine:
             if not poisoned_categories:
                 raise ValueError(
@@ -190,7 +227,8 @@ class FrequencyDAP:
             with stage("collect.poison"):
                 poison = targets[rng.integers(0, targets.size, size=n_byzantine)]
             reports.append(poison)
-        return np.concatenate(reports)
+        merged = np.concatenate(reports)
+        return pipeline.deliver(merged, (0, merged.size))
 
     @profiled_stage("collect")
     def collect_stream(
@@ -209,16 +247,21 @@ class FrequencyDAP:
         population.  Feed the result to :meth:`estimate_from_counts`.
         """
         rng = ensure_rng(rng)
+        pipeline = self.pipeline
+        capped = not self._reports_per_user()
+        lane = 0
         accumulator = CategoryCountAccumulator(self.n_categories)
         for chunk in category_chunks:
             chunk = np.asarray(chunk, dtype=int).ravel()
-            if chunk.size:
+            if chunk.size and not capped:
                 with stage("collect.sample"):
                     reports = self.mechanism.perturb(chunk, rng)
+                reports = pipeline.deliver(reports, (0, lane, reports.size))
+                lane += 1
                 with stage("collect.accumulate"):
                     accumulator.update(reports)
         n_byzantine = check_integer(n_byzantine, "n_byzantine", minimum=0)
-        if n_byzantine:
+        if n_byzantine and not capped:
             if not poisoned_categories:
                 raise ValueError(
                     "poisoned_categories must be provided when n_byzantine > 0"
@@ -227,6 +270,8 @@ class FrequencyDAP:
             for start, stop in iter_chunks(n_byzantine, poison_chunk_size):
                 with stage("collect.poison"):
                     poison = targets[rng.integers(0, targets.size, size=stop - start)]
+                poison = pipeline.deliver(poison, (0, lane, poison.size))
+                lane += 1
                 with stage("collect.accumulate"):
                     accumulator.update(poison)
         return accumulator
@@ -260,6 +305,8 @@ class FrequencyDAP:
                 "poisoned_categories must be provided when n_byzantine > 0"
             )
         targets = np.asarray(list(poisoned_categories), dtype=int)
+        if not self._reports_per_user():
+            return CategoryCountAccumulator(self.n_categories)
         plan = build_shard_plan(
             [normal_categories.size],
             [n_byzantine],
@@ -287,6 +334,8 @@ class FrequencyDAP:
                     targets=targets,
                     block_size=block_size,
                     backend=backend_name,
+                    protocol=self.protocol_plan.protocol,
+                    shuffle_seed=self.protocol_plan.shuffle_seed,
                 )
             )
         accumulator = CategoryCountAccumulator(self.n_categories)
@@ -573,6 +622,7 @@ class FrequencyDAP:
             poisoned_categories=list(poison_set),
             gamma_hat=gamma_hat,
             log_likelihood_gains=gains,
+            amplification=self.pipeline.ledger([self.epsilon], [int(counts.sum())]),
         )
 
     # ------------------------------------------------------------------
@@ -585,7 +635,11 @@ class FrequencyDAP:
     ) -> FrequencyDAPResult:
         """Simulate one round end to end (collection + estimation)."""
         reports = self.collect(normal_categories, poisoned_categories, n_byzantine, rng)
-        return self.estimate(reports)
+        result = self.estimate(reports)
+        result.skipped_reports = self.contribution_summary(
+            int(np.asarray(normal_categories).size) + int(n_byzantine)
+        )
+        return result
 
 
 # ----------------------------------------------------------------------
@@ -604,6 +658,8 @@ class _FrequencyShardTask:
     targets: np.ndarray
     block_size: int
     backend: str = "numpy"
+    protocol: str = "local"
+    shuffle_seed: int = 0
 
 
 def _run_frequency_shard(task: _FrequencyShardTask) -> dict:
@@ -614,6 +670,9 @@ def _run_frequency_shard(task: _FrequencyShardTask) -> dict:
 
 def _run_frequency_shard_inner(task: _FrequencyShardTask) -> dict:
     mechanism = KRandomizedResponse(task.epsilon, task.n_categories)
+    pipeline = ProtocolPipeline(
+        ProtocolPlan(protocol=task.protocol, shuffle_seed=task.shuffle_seed)
+    )
     accumulator = CategoryCountAccumulator(task.n_categories)
     block = task.block_size
     for index, seed in enumerate(task.normal_seeds):
@@ -622,6 +681,8 @@ def _run_frequency_shard_inner(task: _FrequencyShardTask) -> dict:
             continue
         with stage("collect.sample"):
             reports = mechanism.perturb(chunk, np.random.default_rng(int(seed)))
+        # block seeds are the shard-partition-invariant delivery lanes
+        reports = pipeline.deliver(reports, (int(seed),))
         with stage("collect.accumulate"):
             accumulator.update(reports)
     remaining = task.n_byzantine
@@ -635,6 +696,7 @@ def _run_frequency_shard_inner(task: _FrequencyShardTask) -> dict:
             poison = task.targets[
                 block_rng.integers(0, task.targets.size, size=n_users_block)
             ]
+        poison = pipeline.deliver(poison, (int(seed),))
         with stage("collect.accumulate"):
             accumulator.update(poison)
     return accumulator.state_dict()

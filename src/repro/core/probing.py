@@ -93,6 +93,7 @@ def probe_poisoned_side(
     counts: np.ndarray | None = None,
     strategy: str = "batched",
     warm_start: Mapping[str, np.ndarray] | None = None,
+    poison_domain: tuple[float, float] | None = None,
 ) -> SideProbeResult:
     """Run Algorithm 3 and return the side decision plus both EMF runs.
 
@@ -130,6 +131,10 @@ def probe_poisoned_side(
         incremental probing cheap.  Missing sides cold-start; a vector of the
         wrong length raises ``ValueError`` (a stale checkpoint built over
         different grids must not silently skew the probe).
+    poison_domain:
+        Known support of the poison values when the trust model bounds the
+        adversary (see :func:`repro.core.transform.build_transform_matrix`);
+        ``None`` keeps the classical whole-side hypotheses.
     """
     if (reports is None) == (counts is None):
         raise ValueError("provide exactly one of `reports` or `counts`")
@@ -151,6 +156,7 @@ def probe_poisoned_side(
             n_output_buckets=n_output_buckets,
             side=side,
             reference_mean=reference_mean,
+            poison_domain=poison_domain,
         )
         if counts is None:
             # both sides share the output grid; bucketize once

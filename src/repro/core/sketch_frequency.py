@@ -67,6 +67,8 @@ from repro.collect.streaming import DEFAULT_CHUNK_SIZE, iter_chunks
 from repro.core.emf_star import constrained_m_step
 from repro.core.frequency import EstimatorName
 from repro.ldp.count_sketch import CountSketch
+from repro.protocol.pipeline import ProtocolPipeline
+from repro.protocol.plan import ProtocolPlan
 from repro.ldp.ems import (
     EMResult,
     em_reconstruct,
@@ -128,6 +130,10 @@ class SketchFrequencyDAPResult:
     log_likelihood_gains: List[float] = field(default_factory=list)
     mechanism: CountSketch | None = field(default=None, repr=False)
     sketch_counts: np.ndarray | None = field(default=None, repr=False)
+    #: reports dropped by the contribution-cap client gate (end-to-end runs)
+    skipped_reports: int = 0
+    #: privacy-amplification ledger (``None`` under the local protocol)
+    amplification: List[dict] | None = None
 
     def query(self, categories: np.ndarray) -> np.ndarray:
         """Raw sketch decode of arbitrary categories (post-hoc point queries)."""
@@ -191,6 +197,9 @@ class SketchFrequencyDAP:
         max_poisoned: int | None = None,
         min_likelihood_gain: float = 2.0,
         flag_relative_cut: float = 0.5,
+        protocol: str = "local",
+        contribution_cap: int | None = None,
+        shuffle_seed: int = 0,
     ) -> None:
         self.epsilon = check_positive(epsilon, "epsilon")
         self.n_categories = check_integer(n_categories, "n_categories", minimum=2)
@@ -218,11 +227,34 @@ class SketchFrequencyDAP:
             raise ValueError(
                 f"flag_relative_cut must be in (0, 1], got {flag_relative_cut!r}"
             )
+        # single budget group: shuffling adds the amplification ledger and
+        # the (statistics-invariant) transport mixing, as in FrequencyDAP
+        self.protocol_plan = ProtocolPlan(
+            protocol=protocol,
+            contribution_cap=contribution_cap,
+            shuffle_seed=shuffle_seed,
+        )
         self.mechanism = CountSketch(
             epsilon, n_categories, sketch_rows=sketch_rows, sketch_width=sketch_width
         )
         self.sketch_rows = self.mechanism.sketch_rows
         self.sketch_width = self.mechanism.sketch_width
+
+    # ------------------------------------------------------------------
+    # protocol pipeline
+    # ------------------------------------------------------------------
+    @property
+    def pipeline(self) -> ProtocolPipeline:
+        """Stage helpers for the configured protocol (cheap to build)."""
+        return ProtocolPipeline(self.protocol_plan)
+
+    def _reports_per_user(self) -> int:
+        """Each user sends one sketch report, unless the cap drops it."""
+        return self.protocol_plan.effective_repeats(1)
+
+    def contribution_summary(self, n_total: int) -> int:
+        """Reports the contribution cap drops for ``n_total`` users."""
+        return self.pipeline.skipped_reports([int(n_total)], [1])
 
     # ------------------------------------------------------------------
     # client-side simulation helpers
@@ -242,10 +274,13 @@ class SketchFrequencyDAP:
         a uniformly chosen row (see :meth:`CountSketch.target_reports`).
         """
         rng = ensure_rng(rng)
+        pipeline = self.pipeline
         normal_categories = np.asarray(normal_categories, dtype=int)
+        n_byzantine = check_integer(n_byzantine, "n_byzantine", minimum=0)
+        if not self._reports_per_user():
+            return np.empty((0, 2), dtype=int)
         with stage("collect.sample"):
             reports = [self.mechanism.perturb(normal_categories, rng)]
-        n_byzantine = check_integer(n_byzantine, "n_byzantine", minimum=0)
         if n_byzantine:
             if not len(poisoned_categories):
                 raise ValueError(
@@ -255,7 +290,8 @@ class SketchFrequencyDAP:
             with stage("collect.poison"):
                 poison = self.mechanism.target_reports(targets, rng, size=n_byzantine)
             reports.append(poison)
-        return np.concatenate(reports)
+        merged = np.concatenate(reports)
+        return pipeline.deliver(merged, (0, len(merged)))
 
     @profiled_stage("collect")
     def collect_stream(
@@ -268,16 +304,21 @@ class SketchFrequencyDAP:
     ) -> SketchAccumulator:
         """Chunked collection into a sketch accumulator (bounded memory)."""
         rng = ensure_rng(rng)
+        pipeline = self.pipeline
+        capped = not self._reports_per_user()
+        lane = 0
         accumulator = SketchAccumulator(self.sketch_rows, self.sketch_width)
         for chunk in category_chunks:
             chunk = np.asarray(chunk, dtype=int).ravel()
-            if chunk.size:
+            if chunk.size and not capped:
                 with stage("collect.sample"):
                     reports = self.mechanism.perturb(chunk, rng)
+                reports = pipeline.deliver(reports, (0, lane, len(reports)))
+                lane += 1
                 with stage("collect.accumulate"):
                     accumulator.update(reports)
         n_byzantine = check_integer(n_byzantine, "n_byzantine", minimum=0)
-        if n_byzantine:
+        if n_byzantine and not capped:
             if not len(poisoned_categories):
                 raise ValueError(
                     "poisoned_categories must be provided when n_byzantine > 0"
@@ -288,6 +329,8 @@ class SketchFrequencyDAP:
                     poison = self.mechanism.target_reports(
                         targets, rng, size=stop - start
                     )
+                poison = pipeline.deliver(poison, (0, lane, len(poison)))
+                lane += 1
                 with stage("collect.accumulate"):
                     accumulator.update(poison)
         return accumulator
@@ -317,6 +360,8 @@ class SketchFrequencyDAP:
                 "poisoned_categories must be provided when n_byzantine > 0"
             )
         targets = np.asarray(list(poisoned_categories), dtype=int)
+        if not self._reports_per_user():
+            return SketchAccumulator(self.sketch_rows, self.sketch_width)
         plan = build_shard_plan(
             [normal_categories.size],
             [n_byzantine],
@@ -346,6 +391,8 @@ class SketchFrequencyDAP:
                     targets=targets,
                     block_size=block_size,
                     backend=backend_name,
+                    protocol=self.protocol_plan.protocol,
+                    shuffle_seed=self.protocol_plan.shuffle_seed,
                 )
             )
         accumulator = SketchAccumulator(self.sketch_rows, self.sketch_width)
@@ -865,6 +912,9 @@ class SketchFrequencyDAP:
             log_likelihood_gains=state.gains,
             mechanism=self.mechanism,
             sketch_counts=counts,
+            amplification=self.pipeline.ledger(
+                [self.epsilon], [int(counts.sum())]
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -877,7 +927,11 @@ class SketchFrequencyDAP:
     ) -> SketchFrequencyDAPResult:
         """Simulate one round end to end (collection + estimation)."""
         reports = self.collect(normal_categories, poisoned_categories, n_byzantine, rng)
-        return self.estimate(reports)
+        result = self.estimate(reports)
+        result.skipped_reports = self.contribution_summary(
+            int(np.asarray(normal_categories).size) + int(n_byzantine)
+        )
+        return result
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -906,6 +960,8 @@ class _SketchShardTask:
     targets: np.ndarray
     block_size: int
     backend: str = "numpy"
+    protocol: str = "local"
+    shuffle_seed: int = 0
 
 
 def _run_sketch_shard(task: _SketchShardTask) -> dict:
@@ -921,6 +977,9 @@ def _run_sketch_shard_inner(task: _SketchShardTask) -> dict:
         sketch_rows=task.sketch_rows,
         sketch_width=task.sketch_width,
     )
+    pipeline = ProtocolPipeline(
+        ProtocolPlan(protocol=task.protocol, shuffle_seed=task.shuffle_seed)
+    )
     accumulator = SketchAccumulator(task.sketch_rows, task.sketch_width)
     block = task.block_size
     for index, seed in enumerate(task.normal_seeds):
@@ -929,6 +988,8 @@ def _run_sketch_shard_inner(task: _SketchShardTask) -> dict:
             continue
         with stage("collect.sample"):
             reports = mechanism.perturb(chunk, np.random.default_rng(int(seed)))
+        # block seeds are the shard-partition-invariant delivery lanes
+        reports = pipeline.deliver(reports, (int(seed),))
         with stage("collect.accumulate"):
             accumulator.update(reports)
     remaining = task.n_byzantine
@@ -942,6 +1003,7 @@ def _run_sketch_shard_inner(task: _SketchShardTask) -> dict:
             poison = mechanism.target_reports(
                 task.targets, block_rng, size=n_users_block
             )
+        poison = pipeline.deliver(poison, (int(seed),))
         with stage("collect.accumulate"):
             accumulator.update(poison)
     return accumulator.state_dict()

@@ -89,6 +89,15 @@ class TransformMatrix:
         Which side of ``reference_mean`` hosts the poison buckets.
     reference_mean:
         The ``O'`` used to split the output domain.
+    poison_domain:
+        Support the poison values are known to lie in, when the trust model
+        bounds the adversary (the shuffle protocol's ladder-wide domain
+        intersection); ``None`` means the whole poisoned side (the classical
+        local-model assumption).
+    poison_values:
+        The value ``nu_j`` each poison column represents; defaults to the
+        poison buckets' centres, clipped into ``poison_domain`` when one is
+        set (a wide group's coarse buckets can dwarf a narrow known support).
     """
 
     matrix: np.ndarray
@@ -97,6 +106,8 @@ class TransformMatrix:
     poison_bucket_indices: np.ndarray
     side: str
     reference_mean: float
+    poison_domain: Tuple[float, float] | None = None
+    poison_values: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # shapes
@@ -118,7 +129,13 @@ class TransformMatrix:
 
     @property
     def poison_bucket_centers(self) -> np.ndarray:
-        """Output-bucket centres of the poison buckets (the paper's ``nu_j``)."""
+        """The value each poison column represents (the paper's ``nu_j``).
+
+        Bucket centres in the local model; centres clipped into the known
+        poison support when the trust model provides one.
+        """
+        if self.poison_values is not None:
+            return self.poison_values
         return self.output_grid.centers[self.poison_bucket_indices]
 
     # ------------------------------------------------------------------
@@ -145,6 +162,7 @@ def build_transform_matrix(
     n_output_buckets: int,
     side: str = "right",
     reference_mean: float | None = None,
+    poison_domain: Tuple[float, float] | None = None,
     use_cache: bool = False,
 ) -> TransformMatrix:
     """Build the transform matrix ``M`` for a mechanism.
@@ -163,6 +181,14 @@ def build_transform_matrix(
         The pessimistic mean ``O'`` splitting the output domain; defaults to
         the centre of the output domain (0 for PM, 0.5 for SW), matching the
         paper's simplification ``O' = 0``.
+    poison_domain:
+        When the trust model bounds the adversary's values (the shuffle
+        protocol restricts poison to the budget ladder's output-domain
+        intersection), only output buckets overlapping this interval host
+        poison columns, and each column's ``nu_j`` is the bucket centre
+        clipped into the interval.  ``None`` (the local model) keeps the
+        classical whole-side support — bit-identical to the historical
+        transform.
     use_cache:
         Serve the normal block from the process-local transform cache.  The
         block depends only on ``(mechanism type, epsilon, d, d')``, so sweeps
@@ -207,10 +233,26 @@ def build_transform_matrix(
         poison_indices = np.flatnonzero(centers >= reference_mean)
     else:
         poison_indices = np.flatnonzero(centers <= reference_mean)
+    poison_values: np.ndarray | None = None
+    if poison_domain is not None:
+        domain_low, domain_high = float(poison_domain[0]), float(poison_domain[1])
+        if domain_low > domain_high:
+            raise ValueError(
+                f"poison_domain low must not exceed high, got {poison_domain}"
+            )
+        # keep buckets *overlapping* the known support (a wide group's coarse
+        # buckets can be broader than the whole support), then pin each
+        # column's value inside it
+        edges = output_grid.edges
+        overlaps = (edges[poison_indices] < domain_high) & (
+            edges[poison_indices + 1] > domain_low
+        )
+        poison_indices = poison_indices[overlaps]
+        poison_values = np.clip(centers[poison_indices], domain_low, domain_high)
     if poison_indices.size == 0:
         raise ValueError(
             "no output buckets fall on the requested poisoned side; increase "
-            "n_output_buckets or adjust reference_mean"
+            "n_output_buckets or adjust reference_mean / poison_domain"
         )
 
     # single allocation instead of a poison block + hstack copy: at paper
@@ -226,6 +268,12 @@ def build_transform_matrix(
         poison_bucket_indices=poison_indices,
         side=side,
         reference_mean=float(reference_mean),
+        poison_domain=(
+            None
+            if poison_domain is None
+            else (float(poison_domain[0]), float(poison_domain[1]))
+        ),
+        poison_values=poison_values,
     )
 
 
@@ -235,13 +283,16 @@ def cached_transform_matrix(
     n_output_buckets: int,
     side: str = "right",
     reference_mean: float | None = None,
+    poison_domain: Tuple[float, float] | None = None,
 ) -> TransformMatrix:
     """:func:`build_transform_matrix` backed by the process-local cache.
 
     Numerically identical to an uncached build; the expensive normal block
     (the mechanism's interval-probability matrix over the grids) is computed
-    once per ``(mechanism type, epsilon, d, d')`` per process.  The returned
-    ``TransformMatrix`` owns its arrays — callers may mutate them freely.
+    once per ``(mechanism type, epsilon, d, d')`` per process — the poison
+    columns are rebuilt per call, so ``poison_domain`` needs no cache key.
+    The returned ``TransformMatrix`` owns its arrays — callers may mutate
+    them freely.
     """
     return build_transform_matrix(
         mechanism,
@@ -249,6 +300,7 @@ def cached_transform_matrix(
         n_output_buckets=n_output_buckets,
         side=side,
         reference_mean=reference_mean,
+        poison_domain=poison_domain,
         use_cache=True,
     )
 

@@ -325,14 +325,39 @@ def _execution_details(spec: ExperimentSpec) -> dict:
 
     Informational only — never compared for record reuse (that is the
     fingerprint's job); used to warn when a partial artifact is resumed
-    under a different collection path.
+    under a different collection path.  Under the shuffle protocol the
+    details also carry a privacy-amplification digest: the Feldman et al.
+    local→central bound evaluated at every swept epsilon with the full
+    population size (an optimistic per-run summary — the exact per-group
+    ledger, with the actual report counts, rides on each
+    :class:`~repro.core.dap.DAPResult`).
     """
-    return {
+    details = {
         "chunk_size": spec.chunk_size,
         "collect_workers": spec.collect_workers,
         "probe_strategy": getattr(spec, "probe_strategy", None),
         "backend": getattr(spec, "backend", None),
+        "protocol": getattr(spec, "protocol", None),
     }
+    if details["protocol"] == "shuffle":
+        from repro.protocol.amplification import DEFAULT_DELTA, amplified_epsilon
+
+        epsilons = sorted(
+            {
+                float(point["epsilon"])
+                for point in spec.points
+                if isinstance(point.get("epsilon"), (int, float))
+            }
+        )
+        details["amplification"] = {
+            "delta": DEFAULT_DELTA,
+            "n": int(spec.n_users),
+            "epsilon_central": {
+                f"{epsilon:g}": amplified_epsilon(epsilon, int(spec.n_users))
+                for epsilon in epsilons
+            },
+        }
+    return details
 
 
 def _store_records(

@@ -37,6 +37,7 @@ from repro.attacks.base import Attack
 from repro.backends import check_backend, use_backend
 from repro.core.probing import check_probe_strategy
 from repro.datasets.base import NumericalDataset
+from repro.protocol.plan import check_protocol
 from repro.simulation.runner import (
     run_trials_batched,
     run_trials_from_seeds,
@@ -110,6 +111,13 @@ class ExperimentSpec:
         ``meta.execution`` — but note the fast backends consume the RNG
         stream differently, so a seeded run's records are statistically
         equivalent rather than bit-identical across backends.
+    protocol:
+        Trust-model identity axis applied to every scheme (see
+        :data:`repro.protocol.PROTOCOL_NAMES`); ``None`` keeps each scheme's
+        own default (the classical ``"local"`` model).  Unlike the execution
+        knobs above this *changes what the adversary can observe*, so when it
+        is set it enters :meth:`fingerprint` — an artifact collected under
+        the shuffle model can never be resumed as a local-model run.
     seed:
         Default master seed used when the executor is not handed an explicit
         generator.
@@ -139,6 +147,7 @@ class ExperimentSpec:
     collect_workers: int | None = None
     probe_strategy: str | None = None
     backend: str | None = None
+    protocol: str | None = None
     seed: int | None = None
     description: str = ""
     fingerprint_extra: Mapping[str, Any] | None = None
@@ -179,6 +188,8 @@ class ExperimentSpec:
             check_probe_strategy(self.probe_strategy)
         if self.backend is not None:
             check_backend(self.backend)
+        if self.protocol is not None:
+            check_protocol(self.protocol)
         if not self.is_point_granular():
             missing = [
                 label
@@ -216,6 +227,9 @@ class ExperimentSpec:
         if self.probe_strategy is not None:
             for scheme in schemes:
                 scheme.configure_probing(self.probe_strategy)
+        if self.protocol is not None:
+            for scheme in schemes:
+                scheme.configure_protocol(self.protocol)
         return schemes
 
     # ------------------------------------------------------------------
@@ -311,7 +325,9 @@ class ExperimentSpec:
         a run must stay resumable when only its execution knobs change (e.g.
         resuming an in-memory run with ``--chunk-size`` to fit a bigger
         machine's memory budget, or with ``--probe-strategy cold`` to
-        reproduce the seed implementation's exact arithmetic).
+        reproduce the seed implementation's exact arithmetic).  The
+        ``protocol`` trust model is the exception: it changes what the
+        adversary observes, so it joins the identity whenever it is set.
         """
         gamma = self.gamma if isinstance(self.gamma, (int, float)) else "per-point"
         points_digest = hashlib.sha256(
@@ -333,6 +349,10 @@ class ExperimentSpec:
             "batched": bool(self.batched),
             "granularity": "point" if self.is_point_granular() else "scheme",
         }
+        # identity axis, not an execution knob — but only when set, so every
+        # historical local-model fingerprint stays byte-identical
+        if self.protocol is not None:
+            fingerprint["protocol"] = self.protocol
         if self.fingerprint_extra:
             fingerprint.update(self.fingerprint_extra)
         return fingerprint

@@ -20,7 +20,12 @@ This subpackage implements every LDP primitive the paper relies on:
 * :class:`~repro.ldp.budget.PrivacyBudget` and composition helpers.
 """
 
-from repro.ldp.base import NumericalMechanism, CategoricalMechanism, MechanismError
+from repro.ldp.base import (
+    NumericalMechanism,
+    DomainRestrictedMechanism,
+    CategoricalMechanism,
+    MechanismError,
+)
 from repro.ldp.budget import PrivacyBudget, sequential_composition, parallel_composition
 from repro.ldp.piecewise import PiecewiseMechanism
 from repro.ldp.duchi import DuchiMechanism
@@ -35,6 +40,7 @@ from repro.ldp.count_sketch import CountSketch, sketch_row_seeds
 
 __all__ = [
     "NumericalMechanism",
+    "DomainRestrictedMechanism",
     "CategoricalMechanism",
     "MechanismError",
     "PrivacyBudget",

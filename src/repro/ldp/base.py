@@ -118,6 +118,58 @@ class NumericalMechanism(abc.ABC):
         return f"{type(self).__name__}(epsilon={self.epsilon:g})"
 
 
+class DomainRestrictedMechanism(NumericalMechanism):
+    """A mechanism view whose output domain is narrowed to a sub-interval.
+
+    Used by the shuffle-model protocol (:mod:`repro.protocol.client`): once
+    reports are shuffled, an adversary cannot tell which budget group a slot
+    belongs to, so poison that must remain plausible for *every* group has to
+    live in the intersection of all per-group output domains.  Attacks are
+    handed this view in place of the per-group mechanism — everything else
+    (perturbation, variances, estimation) delegates to the wrapped mechanism
+    unchanged.
+    """
+
+    def __init__(
+        self, base: NumericalMechanism, output_domain: Tuple[float, float]
+    ) -> None:
+        low, high = float(output_domain[0]), float(output_domain[1])
+        base_low, base_high = base.output_domain
+        if low > high:
+            raise MechanismError(
+                f"restricted domain is empty: [{low:.4g}, {high:.4g}]"
+            )
+        if low < base_low - 1e-9 or high > base_high + 1e-9:
+            raise MechanismError(
+                f"restricted domain [{low:.4g}, {high:.4g}] must lie inside the "
+                f"base domain [{base_low:.4g}, {base_high:.4g}]"
+            )
+        super().__init__(base.epsilon)
+        self.base = base
+        self.input_domain = base.input_domain
+        self._output_domain = (low, high)
+
+    @property
+    def output_domain(self) -> Tuple[float, float]:
+        return self._output_domain
+
+    def perturb(self, values: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        return self.base.perturb(values, rng)
+
+    def worst_case_variance(self) -> float:
+        return self.base.worst_case_variance()
+
+    def estimate_mean(self, reports: np.ndarray) -> float:
+        return self.base.estimate_mean(reports)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        low, high = self._output_domain
+        return (
+            f"DomainRestrictedMechanism({self.base!r}, "
+            f"output_domain=({low:.4g}, {high:.4g}))"
+        )
+
+
 class CategoricalMechanism(abc.ABC):
     """A categorical LDP mechanism over ``k`` categories ``0 .. k-1``."""
 
@@ -161,4 +213,9 @@ class CategoricalMechanism(abc.ABC):
         )
 
 
-__all__ = ["NumericalMechanism", "CategoricalMechanism", "MechanismError"]
+__all__ = [
+    "NumericalMechanism",
+    "DomainRestrictedMechanism",
+    "CategoricalMechanism",
+    "MechanismError",
+]

@@ -1,0 +1,68 @@
+"""Client stage: what the adversary can aim at under each trust model.
+
+In the **local** model the adversary knows which budget group each
+compromised user was assigned to, so poison targets that group's mechanism
+directly — its full output domain, its poison-range geometry.
+
+In the **shuffle** model the shuffler strips sender→group linkage before
+the server sees anything, so poison aimed at one group's extreme domain
+would land detectably outside other groups' domains once mixed.  A
+group-blind adversary therefore constrains poison to the *intersection* of
+every group's output domain — which is the **narrowest** domain on the
+budget ladder (the largest epsilon perturbs least, e.g. the Piecewise
+Mechanism's ``C = (e^{eps/2}+1)/(e^{eps/2}-1)`` shrinks as epsilon grows).
+Attacks receive a :class:`~repro.ldp.base.DomainRestrictedMechanism` view
+carrying that intersection; honest clients are untouched, so a round with
+``NoAttack`` is bit-identical between the two protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.ldp.base import DomainRestrictedMechanism, NumericalMechanism
+
+from repro.protocol.plan import ProtocolPlan
+
+
+def intersection_output_domain(
+    mechanisms: Sequence[NumericalMechanism],
+) -> tuple[float, float]:
+    """The intersection of every mechanism's output domain.
+
+    For the paper's mechanism families the domains are nested (all centred,
+    width monotone in epsilon), so the intersection is simply the narrowest
+    one; taking max-of-lows / min-of-highs keeps this correct for
+    non-nested families too.
+    """
+    if not mechanisms:
+        raise ValueError("need at least one mechanism to intersect domains")
+    lows, highs = zip(*(m.output_domain for m in mechanisms))
+    low, high = max(lows), min(highs)
+    if low > high:
+        raise ValueError(
+            f"output domains have empty intersection: [{low:.4g}, {high:.4g}]"
+        )
+    return (float(low), float(high))
+
+
+def adversary_view(
+    mechanism: NumericalMechanism,
+    plan: ProtocolPlan,
+    ladder_mechanisms: Mapping[float, NumericalMechanism] | None = None,
+) -> NumericalMechanism:
+    """The mechanism an attack is allowed to see for one budget group.
+
+    Local protocol: the group's own mechanism (historical behaviour).
+    Shuffle protocol: a domain-restricted view over the full ladder's
+    intersection, since the adversary cannot tell groups apart in transit.
+    """
+    if not plan.is_shuffle or ladder_mechanisms is None:
+        return mechanism
+    domain = intersection_output_domain(tuple(ladder_mechanisms.values()))
+    if domain == tuple(mechanism.output_domain):
+        return mechanism
+    return DomainRestrictedMechanism(mechanism, domain)
+
+
+__all__ = ["adversary_view", "intersection_output_domain"]

@@ -37,6 +37,7 @@ _COMPONENT_MODULES = (
     "repro.defenses",
     "repro.datasets.registry",
     "repro.simulation.schemes",
+    "repro.protocol",
 )
 
 _components_loaded = False
@@ -197,6 +198,8 @@ DEFENSES = Registry("defense")
 SCHEMES = Registry("scheme")
 #: evaluation datasets
 DATASETS = Registry("dataset")
+#: collection trust models (local / shuffle transports)
+PROTOCOLS = Registry("protocol")
 
 ALL_REGISTRIES: Mapping[str, Registry] = {
     "mechanisms": MECHANISMS,
@@ -204,6 +207,7 @@ ALL_REGISTRIES: Mapping[str, Registry] = {
     "defenses": DEFENSES,
     "schemes": SCHEMES,
     "datasets": DATASETS,
+    "protocols": PROTOCOLS,
 }
 
 __all__ = [
@@ -215,5 +219,6 @@ __all__ = [
     "DEFENSES",
     "SCHEMES",
     "DATASETS",
+    "PROTOCOLS",
     "ALL_REGISTRIES",
 ]

@@ -59,6 +59,7 @@ from repro.engine.factories import (
     SchemesFromSpecs,
 )
 from repro.core.probing import check_probe_strategy
+from repro.protocol.plan import check_protocol
 from repro.registry import ATTACKS, DATASETS
 from repro.simulation.sweep import SweepRecord, format_table, records_to_table
 from repro.utils.rng import RngLike, ensure_rng
@@ -197,6 +198,7 @@ SCENARIO_KEYS = (
     "collect_workers",
     "probe_strategy",
     "backend",
+    "protocol",
     "sketch_rows",
     "sketch_width",
     "population",
@@ -263,6 +265,14 @@ class ScenarioSpec:
         ``probe_strategy`` — excluded from :meth:`document` and the resume
         digest, recorded only in ``meta.execution`` — though the fast
         backends draw statistically equivalent (not bit-identical) samples.
+    protocol:
+        Trust model every scheme runs under (see
+        :data:`repro.protocol.PROTOCOL_NAMES`); the default ``"local"`` is
+        the classical local model.  An **identity** knob (unlike
+        ``backend``): the shuffle model changes what the adversary can
+        observe, so when it is not ``"local"`` it enters :meth:`document`
+        and the resume digest.  Leaving it at the default keeps digests of
+        existing scenarios unchanged.
     sketch_rows, sketch_width:
         Count-sketch geometry for sketch-backed categorical components.
         **Identity** knobs (unlike ``backend``): the sketch's hash rows and
@@ -289,6 +299,7 @@ class ScenarioSpec:
     collect_workers: int | None = None
     probe_strategy: str | None = None
     backend: str | None = None
+    protocol: str = "local"
     sketch_rows: int | None = None
     sketch_width: int | None = None
     description: str = ""
@@ -343,6 +354,7 @@ class ScenarioSpec:
             check_probe_strategy(self.probe_strategy)
         if self.backend is not None:
             check_backend(self.backend)
+        check_protocol(self.protocol)
         if self.sketch_rows is not None:
             self.sketch_rows = check_integer(self.sketch_rows, "sketch_rows", minimum=1)
         if self.sketch_width is not None:
@@ -382,7 +394,8 @@ class ScenarioSpec:
         }
         for key in ("description", "attacks", "datasets", "gammas", "seed",
                     "epsilon_min", "batched", "chunk_size", "collect_workers",
-                    "probe_strategy", "backend", "sketch_rows", "sketch_width"):
+                    "probe_strategy", "backend", "protocol", "sketch_rows",
+                    "sketch_width"):
             if key in payload:
                 kwargs[key] = payload[key]
         n_trials = payload.get("trials", payload.get("n_trials"))
@@ -421,7 +434,9 @@ class ScenarioSpec:
 
         The sketch geometry knobs are the opposite: they change report bits,
         so when set they enter the document (and digest) — but only when
-        set, so non-sketch scenario digests are stable across versions.
+        set, so non-sketch scenario digests are stable across versions.  The
+        ``protocol`` trust model follows the same pattern: it joins the
+        document only when it is not the default ``"local"``.
         """
         document = {
             "name": self.name,
@@ -441,6 +456,8 @@ class ScenarioSpec:
             "epsilon_min": self.epsilon_min,
             "batched": self.batched,
         }
+        if self.protocol != "local":
+            document["protocol"] = self.protocol
         if self.sketch_rows is not None:
             document["sketch_rows"] = self.sketch_rows
         if self.sketch_width is not None:
@@ -505,6 +522,7 @@ class ScenarioSpec:
             collect_workers=self.collect_workers,
             probe_strategy=self.probe_strategy,
             backend=self.backend,
+            protocol=self.protocol if self.protocol != "local" else None,
             seed=self.seed,
             fingerprint_extra={"scenario_digest": self.digest()},
         )

@@ -189,6 +189,7 @@ class WindowedAggregationService:
             epsilon_min=spec.epsilon_min,
             estimator=spec.estimator,  # type: ignore[arg-type]
             probe_strategy=spec.probe_strategy,
+            protocol=spec.protocol,
         )
         probe_protocol = DAPProtocol(base)
         ladder = base.budget_ladder

@@ -46,6 +46,7 @@ from typing import Any, Dict, Mapping, Tuple
 
 from repro.backends import check_backend
 from repro.core.probing import check_probe_strategy
+from repro.protocol.plan import check_protocol
 from repro.utils.validation import check_fraction, check_integer, check_positive
 
 #: keys accepted in a service JSON document
@@ -65,6 +66,7 @@ SERVICE_KEYS = (
     "input_domain",
     "warm_probe",
     "probe_strategy",
+    "protocol",
     "sketch_rows",
     "sketch_width",
     "detector",
@@ -117,6 +119,12 @@ class ServiceSpec:
         changes iterate-level floating point.
     probe_strategy:
         ``"batched"`` or ``"cold"`` (identity here; see module docstring).
+    protocol:
+        Trust model the windows collect under (``"local"`` / ``"shuffle"``,
+        see :data:`repro.protocol.PROTOCOL_NAMES`).  Identity when not the
+        default ``"local"`` — the shuffle model changes what the adversary
+        observes — and left out of :meth:`document` otherwise, so digests
+        of existing local-model services are unchanged.
     sketch_rows, sketch_width:
         Count-sketch geometry for sketch-backed categorical collection.
         Identity when set (the hash rows and width determine every report
@@ -144,6 +152,7 @@ class ServiceSpec:
     input_domain: Tuple[float, float] = (-1.0, 1.0)
     warm_probe: bool = True
     probe_strategy: str = "batched"
+    protocol: str = "local"
     sketch_rows: int | None = None
     sketch_width: int | None = None
     detector: Dict[str, Any] = field(default_factory=dict)
@@ -167,6 +176,7 @@ class ServiceSpec:
             check_integer(self.collect_workers, "collect_workers", minimum=1)
         check_integer(self.checkpoint_every, "checkpoint_every", minimum=1)
         check_probe_strategy(self.probe_strategy)
+        check_protocol(self.protocol)
         if self.sketch_rows is not None:
             check_integer(self.sketch_rows, "sketch_rows", minimum=1)
         if self.sketch_width is not None:
@@ -251,6 +261,8 @@ class ServiceSpec:
             "probe_strategy": self.probe_strategy,
             "detector": self.detector_config(),
         }
+        if self.protocol != "local":
+            document["protocol"] = self.protocol
         if self.sketch_rows is not None:
             document["sketch_rows"] = self.sketch_rows
         if self.sketch_width is not None:

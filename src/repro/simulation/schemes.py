@@ -18,6 +18,7 @@ from repro.attacks.base import Attack, NoAttack
 from repro.core.baseline_protocol import BaselineProtocol
 from repro.core.dap import DAPConfig, DAPProtocol
 from repro.core.probing import check_probe_strategy
+from repro.protocol.plan import check_protocol
 from repro.defenses.base import Defense
 from repro.ldp.base import NumericalMechanism
 from repro.ldp.piecewise import PiecewiseMechanism
@@ -59,6 +60,21 @@ class Scheme(abc.ABC):
         override can be applied across a mixed scheme list.
         """
         check_probe_strategy(strategy)
+        return self
+
+    def configure_protocol(self, protocol: str) -> "Scheme":
+        """Set the collection trust model (identity knob), where it applies.
+
+        The DAP variants override this to lower their collection round to
+        the requested :mod:`repro.protocol` pipeline (``"local"`` /
+        ``"shuffle"``); schemes without a budget ladder (the single-round
+        defences, the two-budget baseline with its fixed public split)
+        validate the name and ignore it — shuffling cannot blind their
+        adversary to a group structure they do not have — so an
+        experiment-wide ``protocol`` override can be applied across a mixed
+        scheme list.
+        """
+        check_protocol(protocol)
         return self
 
     def estimate_sharded(
@@ -129,6 +145,15 @@ class DAPScheme(Scheme):
     def configure_probing(self, strategy: str) -> "DAPScheme":
         """Switch the protocol's side-probe strategy (execution detail)."""
         self.config.probe_strategy = check_probe_strategy(strategy)
+        return self
+
+    def configure_protocol(self, protocol: str) -> "DAPScheme":
+        """Switch the collection trust model (identity knob).
+
+        Mutates the shared config, so the already-built ``DAPProtocol``
+        picks the new plan up lazily on its next collection round.
+        """
+        self.config.protocol = check_protocol(protocol)
         return self
 
     supports_streaming = True

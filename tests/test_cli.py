@@ -264,6 +264,18 @@ class TestExampleScenario:
         assert len(spec.points) == 9  # 3 attacks x 3 epsilons
         assert len(spec.schemes_for(spec.points[0])) == 4
 
+    def test_shipped_shuffle_example_is_valid(self):
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        scenario = ScenarioSpec.from_file(
+            os.path.join(root, "examples", "scenario_shuffle.json")
+        )
+        assert scenario.protocol == "shuffle"
+        spec = scenario.to_experiment_spec()
+        assert spec.protocol == "shuffle"
+        assert len(spec.points) == 4  # 2 attacks x 2 epsilons
+        for scheme in spec.schemes_for(spec.points[0]):
+            assert scheme.config.protocol == "shuffle"
+
 
 DAP_SCENARIO = {
     "name": "dappy",
