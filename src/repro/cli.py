@@ -20,6 +20,7 @@ run unexpectedly produced no records.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import dataclasses
 import json
 import os
@@ -31,6 +32,12 @@ from repro.backends import BACKENDS
 from repro.core.probing import PROBE_STRATEGIES
 from repro.protocol.plan import PROTOCOL_NAMES
 from repro.registry import ALL_REGISTRIES
+from repro.resilience import (
+    DEFAULT_POLICY,
+    FaultPlan,
+    use_fault_plan,
+    use_retry_policy,
+)
 from repro.scenario import ScenarioSpec, format_scenario_records, run_scenario
 
 
@@ -86,8 +93,50 @@ def _window_size(value: str) -> int:
     return parsed
 
 
+def _positive_float(flag: str):
+    """Build an argparse type callable for a positive-float flag."""
+
+    def parse(value: str) -> float:
+        try:
+            parsed = float(value)
+        except ValueError:
+            parsed = 0.0
+        if parsed <= 0:
+            raise argparse.ArgumentTypeError(
+                f"{flag} must be a positive number, got {value!r}"
+            )
+        return parsed
+
+    return parse
+
+
 def _default_store(scenario: ScenarioSpec) -> str:
     return os.path.join("runs", f"{scenario.name}.json")
+
+
+def _resilience_context(args: argparse.Namespace):
+    """The fault-plan + retry-policy scope a command's run executes under.
+
+    Both are execution details: they never enter a scenario or service digest,
+    so a chaos run stays resumable into (and bit-identical with) a clean one.
+    Returns ``(context, plan)`` — the plan is surfaced so ``--results-out``
+    payloads can record what was injected.
+    """
+    stack = contextlib.ExitStack()
+    plan = None
+    if getattr(args, "fault_plan", None) is not None:
+        plan = FaultPlan.from_file(args.fault_plan)
+        stack.enter_context(use_fault_plan(plan))
+    overrides = {}
+    if getattr(args, "task_retries", None) is not None:
+        overrides["max_attempts"] = args.task_retries
+    if getattr(args, "task_timeout", None) is not None:
+        overrides["task_timeout"] = args.task_timeout
+    if overrides:
+        stack.enter_context(
+            use_retry_policy(dataclasses.replace(DEFAULT_POLICY, **overrides))
+        )
+    return stack, plan
 
 
 class _ProgressPrinter:
@@ -148,14 +197,16 @@ def _execute(args: argparse.Namespace, resume: bool, require_artifact: bool) -> 
         )
         return 1
     profile = args.profile or args.profile_out is not None
-    records = run_scenario(
-        scenario,
-        n_workers=args.workers,
-        store_path=store,
-        resume=resume,
-        progress=None if args.quiet else _ProgressPrinter(scenario.name),
-        profile=profile,
-    )
+    context, _plan = _resilience_context(args)
+    with context:
+        records = run_scenario(
+            scenario,
+            n_workers=args.workers,
+            store_path=store,
+            resume=resume,
+            progress=None if args.quiet else _ProgressPrinter(scenario.name),
+            profile=profile,
+        )
     if not records:
         print(f"error: scenario {scenario.name!r} produced no records", file=sys.stderr)
         return 2
@@ -235,6 +286,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         overrides["collect_workers"] = args.collect_workers
     if args.checkpoint_every is not None:
         overrides["checkpoint_every"] = args.checkpoint_every
+    if args.checkpoint_retain is not None:
+        overrides["checkpoint_retain"] = args.checkpoint_retain
     if overrides:
         spec = dataclasses.replace(spec, **overrides)
     checkpoint_dir = args.checkpoint_dir or os.path.join("runs", "service")
@@ -244,9 +297,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     def progress(row) -> None:
         print(format_window(row, spec.n_windows), file=sys.stderr, flush=True)
 
-    result = service.run(
-        resume=not args.fresh, progress=None if args.quiet else progress
-    )
+    context, plan = _resilience_context(args)
+    with context:
+        result = service.run(
+            resume=not args.fresh, progress=None if args.quiet else progress
+        )
     final = result.windows[-1]
     flagged = result.flagged_window
     print(
@@ -264,10 +319,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.profile_out is not None:
             _write_profile(args.profile_out, result.profile)
     if args.results_out is not None:
+        execution = spec.execution_details()
+        execution["resilience"] = {
+            event: count for event, count in sorted(result.resilience.items())
+        }
+        if plan is not None:
+            execution["fault_plan"] = plan.document()
         payload = {
             "spec": spec.document(),
             "digest": spec.digest(),
-            "execution": spec.execution_details(),
+            "execution": execution,
             "resumed_from": result.resumed_from,
             "estimate": final.estimate,
             "flagged_window": flagged,
@@ -301,6 +362,37 @@ def _cmd_list_components(args: argparse.Namespace) -> int:
         print()
     print("(every defense is also accepted as a single-round scheme name)")
     return 0
+
+
+def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    """The fault-tolerance knobs shared by run / resume / serve."""
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PATH",
+        help="inject deterministic faults from a JSON fault plan (worker "
+        "kills, task timeouts, checkpoint corruption, artifact-write "
+        "failures); an execution detail — the recovered run is bit-identical "
+        "to a fault-free one and the plan is recorded under meta.execution "
+        "only",
+    )
+    parser.add_argument(
+        "--task-retries",
+        type=_positive_int("--task-retries"),
+        default=None,
+        help="total attempts per pool task before the run fails "
+        f"(default: {DEFAULT_POLICY.max_attempts}); retried tasks are "
+        "bit-identical to first-try tasks",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=_positive_float("--task-timeout"),
+        default=None,
+        metavar="SECONDS",
+        help="per-task watchdog: a pool task running longer is re-dispatched "
+        "(straggler mitigation; first result wins and both compute the same "
+        "bits); default: no watchdog",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -403,6 +495,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--quiet", action="store_true", help="print only the summary line"
     )
+    _add_resilience_flags(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
     resume_parser = sub.add_parser(
@@ -425,6 +518,7 @@ def build_parser() -> argparse.ArgumentParser:
     resume_parser.add_argument("--profile", action="store_true")
     resume_parser.add_argument("--profile-out", default=None, metavar="PATH")
     resume_parser.add_argument("--quiet", action="store_true")
+    _add_resilience_flags(resume_parser)
     resume_parser.set_defaults(func=_cmd_resume)
 
     serve_parser = sub.add_parser(
@@ -459,6 +553,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="checkpoint after every N completed windows (default: the "
         "service's setting, else 1)",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-retain",
+        type=_positive_int("--checkpoint-retain"),
+        default=None,
+        help="keep this many last-good checkpoint ancestors for chain "
+        "recovery (corrupt heads are quarantined and the service rolls back "
+        "to the newest valid ancestor; default: the service's setting, "
+        "else 3)",
     )
     serve_parser.add_argument(
         "--fresh",
@@ -518,6 +621,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the full window-by-window results as JSON to PATH",
     )
     serve_parser.add_argument("--quiet", action="store_true")
+    _add_resilience_flags(serve_parser)
     serve_parser.set_defaults(func=_cmd_serve)
 
     list_parser = sub.add_parser(

@@ -24,16 +24,18 @@ the run's identity (it decides how the per-block generators are consumed).
 
 from __future__ import annotations
 
-import concurrent.futures
-import pickle
-import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.resilience.pool import ResilientPool
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_integer
+
+#: the :class:`~repro.resilience.pool.ResilientPool` seam name for shard
+#: dispatch — fault plans target collection shards through this scope
+SHARD_POOL_LABEL = "collect.shard"
 
 #: users per seed block — the granularity of the pre-drawn seed stream
 DEFAULT_SHARD_BLOCK = 65_536
@@ -214,52 +216,30 @@ def run_shard_tasks(
     n_workers: int | None,
     pickle_probe: Any = None,
 ) -> List[Any]:
-    """Run shard tasks serially or over a process pool, in task order.
+    """Run shard tasks over the resilient pool harness, in task order.
 
-    The shared execution harness behind every ``collect_sharded`` path.
-    Results are identical either way — the pool only changes wall-clock time
-    — because each task is a pure function of its pre-drawn block seeds.
-    ``pickle_probe`` (e.g. a task's config + attack) is test-pickled before a
-    pool is started; unpicklable configurations and pool failures degrade to
-    serial execution with a warning, mirroring the experiment executor.
+    The shared execution harness behind every ``collect_sharded`` path, now a
+    thin wrapper over :class:`repro.resilience.pool.ResilientPool` (seam
+    ``"collect.shard"``).  Results are identical under any worker count, any
+    retry, any pool reincarnation and the serial degradation path — each task
+    is a pure function of its pre-drawn block seeds.  ``pickle_probe`` (e.g.
+    a task's config + attack) is test-pickled before a pool is started;
+    unpicklable configurations and pool failures degrade to serial execution
+    with a single warning per run, mirroring the experiment executor.
 
     A fresh pool is started per call: the intended workload is a handful of
     very large rounds (pool startup is noise next to a 10^7-user round);
     sweeps over many small rounds should parallelise across work units with
     the engine's ``n_workers`` instead.
     """
-    n_workers = 1 if n_workers is None else int(n_workers)
-    if n_workers < 1:
-        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
-    if n_workers > 1 and len(tasks) > 1:
-        try:
-            if pickle_probe is not None:
-                pickle.dumps(pickle_probe)
-        except Exception as error:
-            warnings.warn(
-                f"shard task is not picklable ({error}); running shards "
-                f"serially — use module-level components to enable the "
-                f"process pool",
-                RuntimeWarning,
-                stacklevel=3,
-            )
-            return [worker(task) for task in tasks]
-        try:
-            with concurrent.futures.ProcessPoolExecutor(
-                max_workers=min(n_workers, len(tasks))
-            ) as pool:
-                return list(pool.map(worker, tasks))
-        except (OSError, concurrent.futures.process.BrokenProcessPool) as error:
-            warnings.warn(
-                f"process pool unavailable ({error}); running shards serially",
-                RuntimeWarning,
-                stacklevel=3,
-            )
-    return [worker(task) for task in tasks]
+    return ResilientPool(n_workers, SHARD_POOL_LABEL).run(
+        worker, tasks, pickle_probe=pickle_probe
+    )
 
 
 __all__ = [
     "DEFAULT_SHARD_BLOCK",
+    "SHARD_POOL_LABEL",
     "ShardPlan",
     "ShardSlice",
     "build_shard_plan",

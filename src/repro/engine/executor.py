@@ -23,9 +23,7 @@ any cross-process coordination.
 
 from __future__ import annotations
 
-import concurrent.futures
 import os
-import pickle
 import warnings
 from typing import Any, Callable, Dict, List, Sequence
 
@@ -36,12 +34,23 @@ import numpy as np
 
 from repro.engine.spec import ExperimentSpec, Unit
 from repro.engine.store import load_run, save_run
+from repro.resilience import stats
+from repro.resilience.faults import active_injector
+from repro.resilience.pool import (
+    ResilientPool,
+    reset_degradation_latch,
+    retry_call,
+)
 from repro.simulation.sweep import SweepRecord
 from repro.utils import profiling
 from repro.utils.rng import RngLike, ensure_rng
 
 #: sentinel accepted by ``n_workers`` to use every available CPU
 AUTO_WORKERS = "auto"
+
+#: the :class:`~repro.resilience.pool.ResilientPool` seam name for work-unit
+#: dispatch — fault plans target experiment units through this scope
+UNIT_POOL_LABEL = "engine.unit"
 
 # worker-process state installed once by the pool initializer
 _WORKER_SPEC: ExperimentSpec | None = None
@@ -77,13 +86,22 @@ def _init_worker(spec: ExperimentSpec, seed_matrix: np.ndarray) -> None:
     _WORKER_SEEDS = seed_matrix
 
 
-def _run_unit(unit: Unit) -> tuple[Unit, List[Any], Dict[str, float]]:
+def _run_unit(
+    unit: Unit,
+) -> tuple[Unit, List[Any], Dict[str, float], Dict[str, int]]:
     assert _WORKER_SPEC is not None and _WORKER_SEEDS is not None
     before = profiling.snapshot()
+    resilience_before = stats.snapshot()
     records = _WORKER_SPEC.evaluate_unit(unit, _WORKER_SEEDS[unit[0]])
-    # stage wall times accumulate per process; shipping the per-unit delta
-    # back with the records makes pool runs profile like serial ones
-    return unit, records, profiling.delta_since(before)
+    # stage wall times and recovery events accumulate per process; shipping
+    # each unit's delta back with its records makes pool runs profile — and
+    # count nested shard-pool recoveries — like serial ones
+    return (
+        unit,
+        records,
+        profiling.delta_since(before),
+        stats.delta_since(resilience_before),
+    )
 
 
 def _report(
@@ -93,25 +111,7 @@ def _report(
         progress(completed, total)
 
 
-def _run_units_serial(
-    spec: ExperimentSpec,
-    units: Sequence[Unit],
-    seed_matrix: np.ndarray,
-    progress: ProgressCallback | None = None,
-    done: int = 0,
-    total: int | None = None,
-) -> tuple[Dict[Unit, List[Any]], Dict[str, float]]:
-    total = len(units) if total is None else total
-    results: Dict[Unit, List[Any]] = {}
-    before = profiling.snapshot()
-    for unit in units:
-        results[unit] = spec.evaluate_unit(unit, seed_matrix[unit[0]])
-        done += 1
-        _report(progress, done, total)
-    return results, profiling.delta_since(before)
-
-
-def _run_units_parallel(
+def _run_units(
     spec: ExperimentSpec,
     units: Sequence[Unit],
     seed_matrix: np.ndarray,
@@ -119,41 +119,47 @@ def _run_units_parallel(
     progress: ProgressCallback | None = None,
     done: int = 0,
     total: int | None = None,
-) -> tuple[Dict[Unit, List[Any]], Dict[str, float]]:
+) -> tuple[Dict[Unit, List[Any]], Dict[str, float], Dict[str, int]]:
+    """Run work units through the resilient pool harness (seam ``engine.unit``).
+
+    Serial and pooled execution, retries, pool reincarnation and the serial
+    degradation path all land here; the serial worker evaluates the spec
+    in-process because only pool workers carry the initializer-installed
+    globals.
+    """
     total = len(units) if total is None else total
-    try:
-        pickle.dumps(spec)
-    except Exception as error:  # unpicklable factory (e.g. a lambda)
-        warnings.warn(
-            f"spec {spec.name!r} is not picklable ({error}); falling back to "
-            f"serial execution — use module-level factory objects to enable "
-            f"the process pool",
-            RuntimeWarning,
-            stacklevel=3,
-        )
-        return _run_units_serial(spec, units, seed_matrix, progress, done, total)
-    try:
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(n_workers, len(units)),
-            initializer=_init_worker,
-            initargs=(spec, seed_matrix),
-        ) as pool:
-            results: Dict[Unit, List[Any]] = {}
-            profile: Dict[str, float] = {}
-            for unit, records, unit_profile in pool.map(_run_unit, units):
-                results[unit] = records
-                profiling.merge_profiles(profile, unit_profile)
-                done += 1
-                _report(progress, done, total)
-            return results, profile
-    except (OSError, concurrent.futures.process.BrokenProcessPool) as error:
-        warnings.warn(
-            f"process pool unavailable ({error}); falling back to serial "
-            f"execution",
-            RuntimeWarning,
-            stacklevel=3,
-        )
-        return _run_units_serial(spec, units, seed_matrix, progress, done, total)
+    results: Dict[Unit, List[Any]] = {}
+    profile: Dict[str, float] = {}
+    worker_resilience: Dict[str, int] = {}
+    completed = {"count": done}
+
+    def serial_worker(unit: Unit):
+        before = profiling.snapshot()
+        records = spec.evaluate_unit(unit, seed_matrix[unit[0]])
+        return unit, records, profiling.delta_since(before), {}
+
+    def on_result(_index: int, payload) -> None:
+        unit, records, unit_profile, unit_resilience = payload
+        results[unit] = records
+        profiling.merge_profiles(profile, unit_profile)
+        stats.merge(worker_resilience, unit_resilience)
+        completed["count"] += 1
+        _report(progress, completed["count"], total)
+
+    pool = ResilientPool(
+        n_workers,
+        UNIT_POOL_LABEL,
+        initializer=_init_worker,
+        initargs=(spec, seed_matrix),
+    )
+    pool.run(
+        _run_unit,
+        units,
+        pickle_probe=spec,
+        serial_worker=serial_worker,
+        on_result=on_result,
+    )
+    return results, profile, worker_resilience
 
 
 def run_experiment(
@@ -195,6 +201,8 @@ def run_experiment(
         of the run artifact.  Units restored from an existing artifact cost
         no stage time, so they contribute nothing.
     """
+    reset_degradation_latch()
+    resilience_before = stats.snapshot()
     master = ensure_rng(rng if rng is not None else spec.seed)
     seed_matrix = draw_seed_matrix(master, len(spec.points), spec.n_trials)
     units = spec.units()
@@ -220,13 +228,9 @@ def run_experiment(
                 RuntimeWarning,
                 stacklevel=2,
             )
-        fresh, run_profile = _run_units_parallel(
-            spec, pending, seed_matrix, n_workers, progress, done, len(units)
-        )
-    else:
-        fresh, run_profile = _run_units_serial(
-            spec, pending, seed_matrix, progress, done, len(units)
-        )
+    fresh, run_profile, worker_resilience = _run_units(
+        spec, pending, seed_matrix, n_workers, progress, done, len(units)
+    )
 
     records: List[Any] = []
     for unit in units:
@@ -238,6 +242,8 @@ def run_experiment(
             records,
             units,
             profile=run_profile if profile else None,
+            resilience_before=resilience_before,
+            worker_resilience=worker_resilience,
         )
     return records
 
@@ -366,6 +372,8 @@ def _store_records(
     records: Sequence[Any],
     units: Sequence[Unit],
     profile: Dict[str, float] | None = None,
+    resilience_before: Dict[str, int] | None = None,
+    worker_resilience: Dict[str, int] | None = None,
 ) -> None:
     if not _storable(spec, records):
         return
@@ -375,20 +383,38 @@ def _store_records(
         execution["profile"] = {
             name: round(seconds, 6) for name, seconds in sorted(profile.items())
         }
-    save_run(
-        store_path,
-        records,
-        point_indices=point_indices,
-        meta={
-            "fingerprint": spec.fingerprint(),
-            "description": spec.description,
-            "execution": execution,
-        },
-    )
+    injector = active_injector()
+    if injector is not None:
+        execution["fault_plan"] = injector.plan.document()
+
+    def write() -> None:
+        # the resilience delta is recomputed per attempt so a retried write
+        # records its own retry in the artifact it finally lands
+        if resilience_before is not None:
+            resilience = stats.delta_since(resilience_before)
+            stats.merge(resilience, worker_resilience or {})
+            execution["resilience"] = {
+                event: count for event, count in sorted(resilience.items())
+            }
+        save_run(
+            store_path,
+            records,
+            point_indices=point_indices,
+            meta={
+                "fingerprint": spec.fingerprint(),
+                "description": spec.description,
+                "execution": execution,
+            },
+        )
+
+    # a transient write failure must not lose a finished run: the atomic
+    # temp-file replacement makes the retry idempotent
+    retry_call(write, label="engine.store", event="artifact_write_retries")
 
 
 __all__ = [
     "AUTO_WORKERS",
+    "UNIT_POOL_LABEL",
     "ProgressCallback",
     "draw_seed_matrix",
     "resolve_workers",

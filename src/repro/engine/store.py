@@ -125,7 +125,20 @@ def save_run(
     point_indices: Sequence[int],
     meta: Mapping[str, Any] | None = None,
 ) -> None:
-    """Write a run artifact atomically (write to temp file, then rename)."""
+    """Write a run artifact atomically and durably.
+
+    Same discipline as the service checkpoints: serialise to a temp file in
+    the destination directory, fsync it, then ``os.replace`` over the final
+    path — a crash or kill at any instant leaves either the previous artifact
+    or the new one, never a torn file.  A pending ``artifact-write`` fault in
+    the active plan fails the call (before any file is touched) with an
+    ``OSError``, exercising the callers' retry path.
+    """
+    from repro.resilience.faults import active_injector
+
+    injector = active_injector()
+    if injector is not None and injector.take_artifact_write_fault():
+        raise OSError("injected artifact write failure")
     points, columns = records_to_columns(records, point_indices)
     payload = {
         "format": FORMAT,
@@ -140,6 +153,8 @@ def save_run(
     try:
         with os.fdopen(fd, "w") as handle:
             json.dump(payload, handle, indent=1)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp_path, path)
     except BaseException:
         if os.path.exists(tmp_path):

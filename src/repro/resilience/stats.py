@@ -1,0 +1,77 @@
+"""Process-local resilience event counters.
+
+The fault-tolerant execution layer records every recovery action it takes —
+task retries, timeout re-dispatches, worker-pool reincarnations, serial
+degradations, checkpoint quarantines — into one process-local counter
+registry, mirroring the stage timers of :mod:`repro.utils.profiling`.
+
+The counters are *diagnostics, never identity*: a retried task is
+bit-identical to a first-try task (every task is a pure function of
+pre-drawn seeds), so two runs of the same spec may legitimately differ in
+their counters while agreeing on every output bit.  Run entry points
+snapshot the registry before the run and record the delta under
+``meta.execution.resilience``.
+
+Counters live in the process that *dispatches* work: retries, watchdog
+timeouts and pool restarts all happen on the dispatching side, so nothing
+needs to cross a process boundary for the common one-level pool.  When pools
+compose (an engine worker running its own shard pool), the engine executor
+ships each worker's delta back with the unit results, exactly like the
+profiling timers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Mapping
+
+#: every event name the execution layer records (fixed vocabulary so
+#: downstream tooling can rely on the keys that appear)
+EVENTS = (
+    "retries",
+    "timeouts",
+    "worker_deaths",
+    "pool_restarts",
+    "serial_degradations",
+    "injected_faults",
+    "checkpoint_quarantined",
+    "artifact_write_retries",
+)
+
+_counters: Counter = Counter()
+
+
+def record(event: str, n: int = 1) -> None:
+    """Count ``n`` occurrences of ``event`` (must be a known event name)."""
+    if event not in EVENTS:
+        raise ValueError(f"unknown resilience event {event!r}; known: {EVENTS}")
+    _counters[event] += int(n)
+
+
+def snapshot() -> Dict[str, int]:
+    """A copy of the current cumulative counters."""
+    return dict(_counters)
+
+
+def delta_since(before: Mapping[str, int]) -> Dict[str, int]:
+    """Events recorded since ``before`` (zero-delta events omitted)."""
+    delta = {}
+    for event, count in _counters.items():
+        diff = count - int(before.get(event, 0))
+        if diff:
+            delta[event] = diff
+    return delta
+
+
+def merge(into: Dict[str, int], delta: Mapping[str, int]) -> None:
+    """Fold a shipped-back worker delta into an accumulating dict."""
+    for event, count in delta.items():
+        into[event] = into.get(event, 0) + int(count)
+
+
+def reset() -> None:
+    """Zero every counter (test hook)."""
+    _counters.clear()
+
+
+__all__ = ["EVENTS", "delta_since", "merge", "record", "reset", "snapshot"]

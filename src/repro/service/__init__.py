@@ -9,7 +9,10 @@ for the full design notes.
 
 from repro.service.checkpoint import (
     CHECKPOINT_VERSION,
+    CheckpointChain,
+    QUARANTINE_SUFFIX,
     load_checkpoint,
+    payload_checksum,
     write_checkpoint,
 )
 from repro.service.detector import CusumDetector
@@ -24,6 +27,9 @@ from repro.service.spec import DEFAULT_DETECTOR, SERVICE_KEYS, ServiceSpec
 
 __all__ = [
     "CHECKPOINT_VERSION",
+    "CheckpointChain",
+    "QUARANTINE_SUFFIX",
+    "payload_checksum",
     "CusumDetector",
     "DEFAULT_DETECTOR",
     "SERVICE_KEYS",

@@ -44,12 +44,11 @@ from repro.backends import use_backend
 from repro.collect.accumulators import GroupAccumulator
 from repro.core.dap import DAPConfig, DAPProtocol
 from repro.core.transform import default_bucket_counts
+from repro.resilience import stats as resilience_stats
+from repro.resilience.faults import active_injector, corrupt_file
+from repro.resilience.pool import reset_degradation_latch
 from repro.scenario import attack_from_spec, dataset_from_spec
-from repro.service.checkpoint import (
-    CHECKPOINT_VERSION,
-    load_checkpoint,
-    write_checkpoint,
-)
+from repro.service.checkpoint import CHECKPOINT_VERSION, CheckpointChain
 from repro.service.detector import CusumDetector
 from repro.service.spec import ServiceSpec
 from repro.simulation.population import build_population
@@ -146,6 +145,9 @@ class ServiceResult:
     resumed_from: int
     checkpoint_path: Optional[str]
     profile: Dict[str, float] = field(default_factory=dict)
+    #: recovery events this run absorbed (retries, quarantines, ...) — a
+    #: diagnostic, never part of the deterministic outputs
+    resilience: Dict[str, int] = field(default_factory=dict)
 
     @property
     def estimate(self) -> float:
@@ -311,20 +313,27 @@ class WindowedAggregationService:
     ) -> ServiceResult:
         """Process windows until the horizon, checkpointing as configured.
 
-        ``resume=True`` (default) continues from an existing checkpoint at
-        ``checkpoint_path``; ``resume=False`` ignores it and recomputes the
-        stream from window 0 (the checkpoint is overwritten as usual).
+        ``resume=True`` (default) continues from the newest *valid* member of
+        the checkpoint chain at ``checkpoint_path`` — corrupt, truncated or
+        stale members are quarantined (renamed aside) and the service rolls
+        back to their newest valid ancestor, replaying the missing windows
+        bit-identically; ``resume=False`` ignores the chain and recomputes
+        the stream from window 0 (the chain is rotated forward as usual).
         """
         spec = self.spec
+        reset_degradation_latch()
+        resilience_before = resilience_stats.snapshot()
         self._fresh_state()
         resumed_from = 0
-        if resume and self.checkpoint_path is not None:
-            try:
-                payload = load_checkpoint(
-                    self.checkpoint_path, expected_digest=spec.digest()
-                )
-            except FileNotFoundError:
-                payload = None
+        chain = (
+            None
+            if self.checkpoint_path is None
+            else CheckpointChain(self.checkpoint_path, retain=spec.checkpoint_retain)
+        )
+        if resume and chain is not None:
+            payload, _quarantined = chain.load_latest(
+                expected_digest=spec.digest()
+            )
             if payload is not None:
                 self._restore_state(payload)
                 resumed_from = self._next_window
@@ -335,11 +344,19 @@ class WindowedAggregationService:
                 row = self._run_window(window)
                 self._windows.append(row)
                 self._next_window = window + 1
-                if self.checkpoint_path is not None and (
+                if chain is not None and (
                     (window + 1) % spec.checkpoint_every == 0
                     or window + 1 == spec.n_windows
                 ):
-                    write_checkpoint(self.checkpoint_path, self._checkpoint_payload())
+                    chain.write(self._checkpoint_payload())
+                    injector = active_injector()
+                    if injector is not None:
+                        mode = injector.checkpoint_fault(window)
+                        if mode is not None:
+                            # damage the freshly written head: the in-memory
+                            # run is unaffected, and the next resume must
+                            # quarantine it and roll back to an ancestor
+                            corrupt_file(self.checkpoint_path, mode)
                 if progress is not None:
                     progress(row)
         return ServiceResult(
@@ -348,6 +365,7 @@ class WindowedAggregationService:
             resumed_from=resumed_from,
             checkpoint_path=self.checkpoint_path,
             profile=profiling.delta_since(profile_before),
+            resilience=resilience_stats.delta_since(resilience_before),
         )
 
     def _run_window(self, window: int) -> WindowResult:

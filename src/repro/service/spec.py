@@ -47,6 +47,7 @@ from typing import Any, Dict, Mapping, Tuple
 from repro.backends import check_backend
 from repro.core.probing import check_probe_strategy
 from repro.protocol.plan import check_protocol
+from repro.service.checkpoint import DEFAULT_RETAIN
 from repro.utils.validation import check_fraction, check_integer, check_positive
 
 #: keys accepted in a service JSON document
@@ -74,6 +75,7 @@ SERVICE_KEYS = (
     "collect_shards",
     "collect_workers",
     "checkpoint_every",
+    "checkpoint_retain",
 )
 
 #: default sequential change-detector knobs (see ``repro.service.detector``)
@@ -135,6 +137,11 @@ class ServiceSpec:
     backend, collect_shards, collect_workers, checkpoint_every:
         Execution details: array backend, collection fan-out and checkpoint
         cadence.  Excluded from the digest.
+    checkpoint_retain:
+        How many last-good checkpoint ancestors the service keeps alongside
+        the newest one (the rollback depth of chain recovery).  An execution
+        detail: retention bounds how far back a corrupted head can roll
+        back, never what a healthy run computes.
     """
 
     name: str
@@ -160,6 +167,7 @@ class ServiceSpec:
     collect_shards: int = 1
     collect_workers: int | None = None
     checkpoint_every: int = 1
+    checkpoint_retain: int = DEFAULT_RETAIN
 
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
@@ -175,6 +183,7 @@ class ServiceSpec:
         if self.collect_workers is not None:
             check_integer(self.collect_workers, "collect_workers", minimum=1)
         check_integer(self.checkpoint_every, "checkpoint_every", minimum=1)
+        check_integer(self.checkpoint_retain, "checkpoint_retain", minimum=1)
         check_probe_strategy(self.probe_strategy)
         check_protocol(self.protocol)
         if self.sketch_rows is not None:
@@ -281,6 +290,7 @@ class ServiceSpec:
             "collect_shards": self.collect_shards,
             "collect_workers": self.collect_workers,
             "checkpoint_every": self.checkpoint_every,
+            "checkpoint_retain": self.checkpoint_retain,
         }
 
     def default_checkpoint_path(self, directory: str) -> str:
